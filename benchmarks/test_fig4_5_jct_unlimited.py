@@ -1,0 +1,39 @@
+"""Figures 4 and 5: JCT reduction with unlimited machines (Algorithm 2).
+
+Reproduction target: NURD is at or near the top of the reduction ranking on
+both traces (its early, accurate flags translate into completion-time wins),
+and reductions are positive for reasonable predictors.
+"""
+
+
+from conftest import CORE_METHODS, make_config
+from repro.eval import evaluate_all, jct_reduction_table
+from repro.eval.tuning import tuned_method_params
+
+
+def _jct_unlimited(trace, trace_name, benchmark):
+    cfg = make_config(trace_name, method_params=tuned_method_params(trace))
+    results = evaluate_all(trace, CORE_METHODS, cfg)
+    table = benchmark.pedantic(
+        lambda: jct_reduction_table(results, machine_counts=None, random_state=1),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nJCT reduction, unlimited machines ({trace_name}):")
+    for m in CORE_METHODS:
+        print(f"  {m:8s} {table[m]['unlimited']:6.1f}%")
+    return {m: table[m]["unlimited"] for m in CORE_METHODS}
+
+
+def test_fig4_jct_unlimited_google(google_trace, benchmark):
+    red = _jct_unlimited(google_trace, "google", benchmark)
+    assert red["NURD"] > 0.0
+    ranked = sorted(red, key=red.get, reverse=True)
+    assert "NURD" in ranked[:3], f"NURD rank: {ranked.index('NURD') + 1}"
+
+
+def test_fig5_jct_unlimited_alibaba(alibaba_trace, benchmark):
+    red = _jct_unlimited(alibaba_trace, "alibaba", benchmark)
+    assert red["NURD"] > 0.0
+    ranked = sorted(red, key=red.get, reverse=True)
+    assert "NURD" in ranked[:3], f"NURD rank: {ranked.index('NURD') + 1}"

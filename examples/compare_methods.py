@@ -1,0 +1,42 @@
+"""Compare NURD against representative baselines on both trace families.
+
+Reproduces a slice of the paper's Table 3: the supervised baseline (GBTR),
+an outlier detector (IFOREST), a PU learner (PU-BG), censored regression
+(Grabit), the systems baseline (Wrangler), and NURD with and without
+calibration.
+
+Run:  python examples/compare_methods.py
+"""
+
+from repro.eval import EvaluationConfig, evaluate_all, format_table3
+from repro.eval.tuning import tuned_method_params
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.google import GoogleTraceGenerator
+
+METHODS = ["GBTR", "IFOREST", "PU-BG", "Grabit", "Wrangler", "NURD-NC", "NURD"]
+
+
+def main() -> None:
+    results = {}
+    for gen_cls, name, alpha in [
+        (GoogleTraceGenerator, "Google", 0.5),
+        (AlibabaTraceGenerator, "Alibaba", 0.35),
+    ]:
+        trace = gen_cls(n_jobs=4, task_range=(120, 180), random_state=42).generate()
+        # The paper tunes each method's hyperparameters on 6 jobs per trace;
+        # tuned_method_params reproduces that protocol (Grabit's sigma).
+        cfg = EvaluationConfig(
+            n_checkpoints=10, alpha=alpha, method_params=tuned_method_params(trace)
+        )
+        print(f"evaluating {len(METHODS)} methods on {name} "
+              f"({len(trace)} jobs, {trace.n_tasks} tasks)...")
+        results[name] = evaluate_all(trace, METHODS, cfg)
+
+    print("\n" + format_table3(results))
+    print("\nExpected shape (paper Table 3): NURD has the best F1 on both "
+          "traces; GBTR misses most stragglers; Grabit/Wrangler over-flag; "
+          "NURD-NC trails NURD on FPR.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Censored and survival regression baselines (paper §3.4, Table 3).
+
+At checkpoint t, running tasks' latencies are right-censored at τ_run:
+
+- :class:`TobitRegressor` — linear Gaussian censored regression (Tobin 1958),
+  MLE via L-BFGS.
+- :class:`GrabitRegressor` — gradient-boosted trees with the Tobit loss
+  (Sigrist & Hirnschall 2019).
+- :class:`CoxPHFitter` — Cox proportional hazards with Breslow baseline
+  (Cox 1972), predicting survival beyond the straggler threshold.
+
+All three assume structure NURD does not: a Gaussian latent latency (Tobit,
+Grabit) or proportional, time-invariant hazards (CoxPH).
+"""
+
+from repro.censored.tobit import TobitRegressor
+from repro.censored.grabit import GrabitRegressor
+from repro.censored.coxph import CoxPHFitter
+
+__all__ = ["TobitRegressor", "GrabitRegressor", "CoxPHFitter"]

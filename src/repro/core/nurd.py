@@ -1,0 +1,176 @@
+"""NURD: Algorithm 1 of the paper, plus the NURD-NC ablation.
+
+At every checkpoint NURD
+
+1. fits a latency regressor ``h_t`` (gradient boosting trees by default) on
+   the finished tasks,
+2. fits a propensity model ``g_t`` discriminating finished vs. running tasks,
+3. adjusts each running task's latency prediction by the calibrated weight
+   ``w = max(eps, min(z + delta, 1))`` and flags it as a straggler when
+   ``y_hat / w >= tau_stra``.
+
+The calibration term ``delta`` is computed **once per job**, from the warmup
+checkpoint's feature centroids (Algorithm 1 lines 4–6), because it encodes a
+static property of the job — whether its straggler threshold sits below or
+above half the maximum latency.
+
+NURD-NC drops the calibration entirely (``w = z``), reproducing the paper's
+own ablation showing calibration is what keeps the false-positive rate low.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import OnlineStragglerPredictor
+from repro.core.calibration import clip_weight, compute_delta, compute_rho
+from repro.core.propensity import PropensityScorer
+from repro.learn.base import BaseEstimator, clone
+from repro.learn.gbm import GradientBoostingRegressor
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+
+def _default_regressor(random_state=None) -> GradientBoostingRegressor:
+    # Small, shallow ensemble: NURD retrains every checkpoint on a few
+    # hundred samples, so capacity beyond this only costs time.
+    return GradientBoostingRegressor(
+        n_estimators=60, max_depth=3, learning_rate=0.1, random_state=random_state
+    )
+
+
+class NurdPredictor(OnlineStragglerPredictor):
+    """Negative-unlabeled straggler predictor with reweighting + calibration.
+
+    Parameters
+    ----------
+    alpha : float
+        Calibration range parameter; the paper tunes ``alpha = 0.5``.
+    eps : float
+        Minimum positive weight; the paper uses ``eps = 0.05``.
+    regressor : estimator or None
+        Latency model ``h_t``; any regressor with fit/predict. Defaults to
+        gradient boosting trees (the paper's choice).
+    propensity_model : classifier or None
+        Model for ``g_t``; defaults to logistic regression per the paper.
+    calibrate : bool
+        When False, behaves as NURD-NC (``w = z``); prefer the
+        :class:`NurdNcPredictor` alias for readability.
+    rho_max : float
+        Cap on ρ before Eq. 3 (see
+        :func:`repro.core.calibration.compute_delta`); ``np.inf`` recovers
+        the paper's exact formula.
+    random_state : int or Generator or None
+        Seed for the boosted trees.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        eps: float = 0.05,
+        regressor: Optional[BaseEstimator] = None,
+        propensity_model: Optional[BaseEstimator] = None,
+        calibrate: bool = True,
+        rho_max: float = 1.2,
+        random_state=None,
+    ):
+        self.alpha = alpha
+        self.eps = eps
+        self.regressor = regressor
+        self.propensity_model = propensity_model
+        self.calibrate = calibrate
+        self.rho_max = rho_max
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def begin_job(self, X_fin, y_fin, X_run, tau_stra: float) -> None:
+        """Compute the per-job calibration term from warmup centroids."""
+        super().begin_job(X_fin, y_fin, X_run, tau_stra)
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive.")
+        if self.eps <= 0:
+            raise ValueError("eps must be positive.")
+        X_fin = check_array(X_fin)
+        X_run = check_array(X_run)
+        self.rho_ = compute_rho(X_fin, X_run)
+        self.delta_ = (
+            compute_delta(self.rho_, self.alpha, rho_max=self.rho_max)
+            if self.calibrate
+            else 0.0
+        )
+        self._fitted_models = False
+
+    def update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
+        """Refit ``h_t`` on finished tasks and ``g_t`` on finished vs running."""
+        check_is_fitted(self, ["tau_stra_"])
+        X_fin, y_fin = check_X_y(X_fin, y_fin)
+        X_run = check_array(X_run, allow_empty=True)
+        base = (
+            self.regressor
+            if self.regressor is not None
+            else _default_regressor(self.random_state)
+        )
+        self.h_ = clone(base)
+        self.h_.fit(X_fin, y_fin)
+        if X_run.shape[0] > 0:
+            self.g_ = PropensityScorer(model=self.propensity_model)
+            self.g_.fit(X_fin, X_run)
+        else:
+            self.g_ = None
+        self._fitted_models = True
+
+    # ------------------------------------------------------------------
+    def predict_weights(self, X_run) -> np.ndarray:
+        """The weighting function w_ti for each running task."""
+        check_is_fitted(self, ["h_"])
+        X_run = check_array(X_run)
+        if self.g_ is None:
+            return np.ones(X_run.shape[0])
+        z = self.g_.score(X_run)
+        if self.calibrate:
+            return clip_weight(z, self.delta_, self.eps)
+        # NURD-NC: w = z, floored so the division stays finite.
+        return np.maximum(z, 1e-6)
+
+    def predict_latency(self, X_run) -> np.ndarray:
+        """Adjusted latency predictions ŷ_adj = ŷ / w (Eq. 4)."""
+        check_is_fitted(self, ["h_"])
+        X_run = check_array(X_run)
+        y_hat = self.h_.predict(X_run)
+        w = self.predict_weights(X_run)
+        return y_hat / w
+
+    def predict_stragglers(self, X_run) -> np.ndarray:
+        """Flag tasks whose adjusted prediction crosses the threshold."""
+        X_run = np.asarray(X_run, dtype=float)
+        if X_run.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        return self.predict_latency(X_run) >= self.tau_stra_
+
+    @property
+    def name(self) -> str:
+        return "NURD" if self.calibrate else "NURD-NC"
+
+
+class NurdNcPredictor(NurdPredictor):
+    """NURD without calibration (w = z) — the paper's NURD-NC ablation."""
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        eps: float = 0.05,
+        regressor: Optional[BaseEstimator] = None,
+        propensity_model: Optional[BaseEstimator] = None,
+        rho_max: float = 1.2,
+        random_state=None,
+    ):
+        super().__init__(
+            alpha=alpha,
+            eps=eps,
+            regressor=regressor,
+            propensity_model=propensity_model,
+            calibrate=False,
+            rho_max=rho_max,
+            random_state=random_state,
+        )

@@ -1,0 +1,55 @@
+"""Automatic straggler-threshold estimation (paper §4.2).
+
+The paper notes τ_stra can be picked automatically with LinnOS-style
+inflection-point estimation on the latency CDF (Hao et al., 2020). This
+module implements that: the inflection is the CDF point with maximum
+perpendicular distance to the chord between the distribution's endpoints
+(the "Kneedle" construction), which finds where the tail detaches from the
+bulk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def estimate_inflection_threshold(
+    latencies, min_percentile: float = 50.0, max_percentile: float = 99.0
+) -> float:
+    """Latency value at the CDF knee, restricted to a percentile window.
+
+    Parameters
+    ----------
+    latencies : array-like
+        Observed task latencies.
+    min_percentile, max_percentile : float
+        Search window — the knee is only meaningful in the upper half of the
+        distribution and the extreme tail is too noisy.
+
+    Returns
+    -------
+    float
+        The estimated straggling threshold.
+    """
+    y = np.sort(np.asarray(latencies, dtype=float))
+    n = y.shape[0]
+    if n < 4:
+        raise ValueError("need at least 4 latencies to find an inflection.")
+    if not 0.0 <= min_percentile < max_percentile <= 100.0:
+        raise ValueError("invalid percentile window.")
+    cdf = (np.arange(n) + 1.0) / n
+    lo = int(np.floor(min_percentile / 100.0 * (n - 1)))
+    hi = max(int(np.ceil(max_percentile / 100.0 * (n - 1))), lo + 2)
+    hi = min(hi, n - 1)
+    ys = y[lo : hi + 1]
+    cs = cdf[lo : hi + 1]
+    span = ys[-1] - ys[0]
+    if span <= 0:
+        return float(ys[-1])
+    # Normalize the window to the unit square; the knee maximizes the
+    # distance to the diagonal chord.
+    xn = (ys - ys[0]) / span
+    yn = (cs - cs[0]) / max(cs[-1] - cs[0], 1e-12)
+    dist = yn - xn
+    knee = int(np.argmax(dist))
+    return float(ys[knee])

@@ -1,0 +1,124 @@
+"""Lloyd's k-means with k-means++ seeding (used by the CBLOF detector)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.utils.validation import check_array, check_is_fitted, check_random_state
+
+
+def _kmeans_plus_plus(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centers."""
+    n = X.shape[0]
+    centers = np.empty((k, X.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = X[first]
+    closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points identical to chosen centers; fill with copies.
+            centers[j:] = X[int(rng.integers(n))]
+            return centers
+        probs = closest_sq / total
+        nxt = int(rng.choice(n, p=probs))
+        centers[j] = X[nxt]
+        d2 = np.sum((X - centers[j]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, d2)
+    return centers
+
+
+class KMeans(BaseEstimator):
+    """Lloyd iterations from a k-means++ seed; best of ``n_init`` restarts."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        n_init: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state=None,
+    ):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _lloyd(self, X: np.ndarray, rng: np.random.Generator):
+        k = self.n_clusters
+        centers = _kmeans_plus_plus(X, k, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        inertia = np.inf
+        for _ in range(self.max_iter):
+            # Squared distances to every center: (n, k).
+            d2 = (
+                np.sum(X**2, axis=1)[:, None]
+                - 2.0 * X @ centers.T
+                + np.sum(centers**2, axis=1)[None, :]
+            )
+            labels = np.argmin(d2, axis=1)
+            new_inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+            new_centers = centers.copy()
+            for j in range(k):
+                members = X[labels == j]
+                if members.shape[0] > 0:
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the farthest point.
+                    far = int(np.argmax(d2[np.arange(X.shape[0]), labels]))
+                    new_centers[j] = X[far]
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            if abs(inertia - new_inertia) <= self.tol or shift <= self.tol:
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        return centers, labels, inertia
+
+    def fit(self, X, y=None) -> "KMeans":
+        X = check_array(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1.")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}."
+            )
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, self.n_init)):
+            centers, labels, inertia = self._lloyd(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ["cluster_centers_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with "
+                f"{self.n_features_in_}."
+            )
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)
+
+    def transform(self, X) -> np.ndarray:
+        """Distances to each cluster center."""
+        check_is_fitted(self, ["cluster_centers_"])
+        X = check_array(X)
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.sqrt(np.maximum(d2, 0.0))

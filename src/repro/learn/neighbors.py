@@ -1,0 +1,72 @@
+"""Nearest-neighbor queries on top of ``scipy.spatial.cKDTree``.
+
+Shared by the KNN, LOF, COF, SOD and ABOD outlier detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.learn.base import BaseEstimator
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class NearestNeighbors(BaseEstimator):
+    """k-nearest-neighbor index.
+
+    ``kneighbors`` can exclude each query point itself when querying the
+    training set (``exclude_self=True``), which every *unsupervised* outlier
+    detector needs when scoring its own training data.
+    """
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X, y=None) -> "NearestNeighbors":
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1.")
+        X = check_array(X)
+        self._fit_X_ = X
+        self.tree_ = cKDTree(X)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def kneighbors(
+        self, X=None, n_neighbors: int = None, exclude_self: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices), each (n_queries, k).
+
+        With ``X=None`` queries the training set itself with
+        ``exclude_self=True`` implied.
+        """
+        check_is_fitted(self, ["tree_"])
+        k = self.n_neighbors if n_neighbors is None else int(n_neighbors)
+        if X is None:
+            X = self._fit_X_
+            exclude_self = True
+        else:
+            X = check_array(X)
+            if X.shape[1] != self.n_features_in_:
+                raise ValueError(
+                    f"X has {X.shape[1]} features; index was built with "
+                    f"{self.n_features_in_}."
+                )
+        n_train = self._fit_X_.shape[0]
+        k_query = min(k + (1 if exclude_self else 0), n_train)
+        dist, idx = self.tree_.query(X, k=k_query)
+        if k_query == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        if exclude_self:
+            # Drop the first column when it is the query point itself
+            # (distance zero to its own index); otherwise drop the last to
+            # keep k columns.
+            dist = dist[:, 1 : k + 1]
+            idx = idx[:, 1 : k + 1]
+        else:
+            dist = dist[:, :k]
+            idx = idx[:, :k]
+        return dist, idx

@@ -1,0 +1,398 @@
+"""CART decision trees (regression and classification), pure NumPy.
+
+The regressor is the weak learner inside :mod:`repro.learn.gbm`; both trees
+use an array-based node layout with fully vectorized prediction (samples are
+routed level-by-level rather than one Python call per sample).
+
+Split search is exact: per node, each candidate feature is sorted once and
+prefix sums give the variance (or Gini) reduction of every cut in O(n) after
+the O(n log n) sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+_LEAF = -1
+
+
+@dataclass
+class _TreeBuffers:
+    """Growable flat arrays describing the tree (sklearn-style layout)."""
+
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[np.ndarray] = field(default_factory=list)
+    n_samples: List[int] = field(default_factory=list)
+    impurity: List[float] = field(default_factory=list)
+
+    def add_node(self, value: np.ndarray, n: int, impurity: float) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(np.nan)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        self.n_samples.append(n)
+        self.impurity.append(impurity)
+        return len(self.feature) - 1
+
+    def finalize(self) -> "_Tree":
+        return _Tree(
+            feature=np.asarray(self.feature, dtype=np.int64),
+            threshold=np.asarray(self.threshold, dtype=np.float64),
+            left=np.asarray(self.left, dtype=np.int64),
+            right=np.asarray(self.right, dtype=np.int64),
+            value=np.stack(self.value),
+            n_samples=np.asarray(self.n_samples, dtype=np.int64),
+            impurity=np.asarray(self.impurity, dtype=np.float64),
+        )
+
+
+@dataclass
+class _Tree:
+    """Immutable fitted tree; ``value`` is (n_nodes, n_outputs)."""
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    n_samples: np.ndarray
+    impurity: np.ndarray
+
+    @property
+    def node_count(self) -> int:
+        return self.feature.shape[0]
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature == _LEAF))
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Return the leaf index each row of ``X`` lands in (vectorized)."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[node] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = node[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = self.feature[node[idx]] != _LEAF
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return the node value for each row; shape (n, n_outputs)."""
+        return self.value[self.apply(X)]
+
+    def decision_path_depth(self, X: np.ndarray) -> np.ndarray:
+        """Return the depth (number of edges) each row travels to its leaf.
+
+        Used by isolation-forest-style detectors.
+        """
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        depth = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[node] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = node[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            depth[idx] += 1
+            active[idx] = self.feature[node[idx]] != _LEAF
+        return depth
+
+
+def _best_split_mse(
+    Xf: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+):
+    """Best threshold on one (already selected) feature column for MSE.
+
+    Returns ``(gain, threshold)`` where gain is the reduction in total sum of
+    squared errors; ``None`` when no legal split exists.
+    """
+    order = np.argsort(Xf, kind="mergesort")
+    xs = Xf[order]
+    ys = y[order]
+    n = xs.shape[0]
+    if xs[0] == xs[-1]:
+        return None
+    csum = np.cumsum(ys)
+    csq = np.cumsum(ys * ys)
+    total_sum = csum[-1]
+    total_sq = csq[-1]
+    # Candidate split after position i (1-based left size i+1).
+    left_n = np.arange(1, n)
+    left_sum = csum[:-1]
+    left_sq = csq[:-1]
+    right_n = n - left_n
+    right_sum = total_sum - left_sum
+    right_sq = total_sq - left_sq
+    # SSE of each side: sum(y^2) - (sum y)^2 / n.
+    sse_left = left_sq - left_sum**2 / left_n
+    sse_right = right_sq - right_sum**2 / right_n
+    sse_parent = total_sq - total_sum**2 / n
+    gain = sse_parent - (sse_left + sse_right)
+    # Disallow splitting between equal values and undersized leaves.
+    valid = (xs[1:] != xs[:-1]) & (left_n >= min_samples_leaf) & (
+        right_n >= min_samples_leaf
+    )
+    if not np.any(valid):
+        return None
+    gain = np.where(valid, gain, -np.inf)
+    best = int(np.argmax(gain))
+    if not np.isfinite(gain[best]) or gain[best] <= 1e-12:
+        return None
+    thr = 0.5 * (xs[best] + xs[best + 1])
+    return float(gain[best]), float(thr)
+
+
+def _best_split_gini(
+    Xf: np.ndarray,
+    y01: np.ndarray,
+    min_samples_leaf: int,
+):
+    """Best threshold for binary Gini impurity; ``y01`` in {0, 1}."""
+    order = np.argsort(Xf, kind="mergesort")
+    xs = Xf[order]
+    ys = y01[order]
+    n = xs.shape[0]
+    if xs[0] == xs[-1]:
+        return None
+    cpos = np.cumsum(ys)
+    total_pos = cpos[-1]
+    left_n = np.arange(1, n)
+    left_pos = cpos[:-1]
+    right_n = n - left_n
+    right_pos = total_pos - left_pos
+    p_l = left_pos / left_n
+    p_r = right_pos / right_n
+    gini_l = 2.0 * p_l * (1.0 - p_l)
+    gini_r = 2.0 * p_r * (1.0 - p_r)
+    p_parent = total_pos / n
+    gini_parent = 2.0 * p_parent * (1.0 - p_parent)
+    weighted = (left_n * gini_l + right_n * gini_r) / n
+    gain = gini_parent - weighted
+    valid = (xs[1:] != xs[:-1]) & (left_n >= min_samples_leaf) & (
+        right_n >= min_samples_leaf
+    )
+    if not np.any(valid):
+        return None
+    gain = np.where(valid, gain, -np.inf)
+    best = int(np.argmax(gain))
+    if not np.isfinite(gain[best]) or gain[best] <= 1e-12:
+        return None
+    thr = 0.5 * (xs[best] + xs[best + 1])
+    return float(gain[best]), float(thr)
+
+
+class _BaseDecisionTree(BaseEstimator):
+    """Shared recursive builder; subclasses define the split criterion."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[float] = None,
+        random_state=None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # Subclass hooks -------------------------------------------------
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _split(self, Xf: np.ndarray, y: np.ndarray):
+        raise NotImplementedError
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        return y
+
+    # Builder --------------------------------------------------------
+    def _n_candidate_features(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(d)))
+            if mf == "log2":
+                return max(1, int(np.log2(d)))
+            raise ValueError(f"Unknown max_features {mf!r}.")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError("float max_features must be in (0, 1].")
+            return max(1, int(round(mf * d)))
+        return max(1, min(int(mf), d))
+
+    def _fit_validated(self, X: np.ndarray, y: np.ndarray):
+        rng = check_random_state(self.random_state)
+        max_depth = np.inf if self.max_depth is None else int(self.max_depth)
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1.")
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2.")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1.")
+        d = X.shape[1]
+        k = self._n_candidate_features(d)
+        buffers = _TreeBuffers()
+
+        # Iterative depth-first construction (explicit stack avoids Python
+        # recursion limits on deep trees).
+        root_idx = buffers.add_node(
+            self._leaf_value(y), y.shape[0], self._impurity(y)
+        )
+        stack = [(root_idx, np.arange(X.shape[0]), 0)]
+        while stack:
+            node_id, idx, depth = stack.pop()
+            ysub = y[idx]
+            if (
+                depth >= max_depth
+                or idx.shape[0] < self.min_samples_split
+                or buffers.impurity[node_id] <= 1e-12
+            ):
+                continue
+            if k < d:
+                feats = rng.choice(d, size=k, replace=False)
+            else:
+                feats = np.arange(d)
+            best_gain = -np.inf
+            best_feat = -1
+            best_thr = np.nan
+            for f in feats:
+                res = self._split(X[idx, f], ysub)
+                if res is not None and res[0] > best_gain:
+                    best_gain, best_thr = res
+                    best_feat = int(f)
+            if best_feat < 0:
+                continue
+            go_left = X[idx, best_feat] <= best_thr
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if (
+                left_idx.shape[0] < self.min_samples_leaf
+                or right_idx.shape[0] < self.min_samples_leaf
+            ):
+                continue
+            left_id = buffers.add_node(
+                self._leaf_value(y[left_idx]),
+                left_idx.shape[0],
+                self._impurity(y[left_idx]),
+            )
+            right_id = buffers.add_node(
+                self._leaf_value(y[right_idx]),
+                right_idx.shape[0],
+                self._impurity(y[right_idx]),
+            )
+            buffers.feature[node_id] = best_feat
+            buffers.threshold[node_id] = best_thr
+            buffers.left[node_id] = left_id
+            buffers.right[node_id] = right_id
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self.tree_ = buffers.finalize()
+        self.n_features_in_ = d
+        return self
+
+    def _check_predict_input(self, X) -> np.ndarray:
+        check_is_fitted(self, ["tree_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; tree was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return X
+
+    def apply(self, X) -> np.ndarray:
+        """Return leaf indices for each sample."""
+        return self.tree_.apply(self._check_predict_input(X))
+
+    @property
+    def n_leaves_(self) -> int:
+        check_is_fitted(self, ["tree_"])
+        return self.tree_.n_leaves
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """CART regression tree minimizing squared error."""
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        return self._fit_validated(X, y)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([y.mean()])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y) * y.shape[0])
+
+    def _split(self, Xf, y):
+        return _best_split_mse(Xf, y, self.min_samples_leaf)
+
+    def predict(self, X) -> np.ndarray:
+        X = self._check_predict_input(X)
+        return self.tree_.predict(X)[:, 0]
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """Binary CART classification tree minimizing Gini impurity."""
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y, y_numeric=False)
+        classes = np.unique(y)
+        if classes.shape[0] > 2:
+            raise ValueError("DecisionTreeClassifier supports binary labels only.")
+        self.classes_ = classes
+        y01 = (y == classes[-1]).astype(np.float64)
+        return self._fit_validated(X, y01)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        # Stored value is P(class = classes_[-1]).
+        return np.array([y.mean()])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        p = y.mean()
+        return float(2.0 * p * (1.0 - p) * y.shape[0])
+
+    def _split(self, Xf, y):
+        return _best_split_gini(Xf, y, self.min_samples_leaf)
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = self._check_predict_input(X)
+        p1 = self.tree_.predict(X)[:, 0]
+        if self.classes_.shape[0] == 1:
+            return np.ones((X.shape[0], 1))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        if self.classes_.shape[0] == 1:
+            return np.full(proba.shape[0], self.classes_[0])
+        return self.classes_[(proba[:, 1] >= 0.5).astype(int)]

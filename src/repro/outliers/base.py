@@ -1,0 +1,65 @@
+"""Common base class for all outlier detectors (PyOD-style contract)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class BaseDetector(BaseEstimator):
+    """Outlier detector contract.
+
+    Subclasses implement ``_fit(X)`` (storing whatever they need) and
+    ``_score(X)`` returning raw outlier scores, **higher = more anomalous**.
+    This base class handles input validation, the contamination threshold and
+    binary prediction.
+
+    Parameters
+    ----------
+    contamination : float
+        Expected fraction of outliers; sets the decision threshold at the
+        (1 − contamination) quantile of the training scores. The paper's
+        straggler definition (p90) corresponds to 0.1.
+    """
+
+    def __init__(self, contamination: float = 0.1):
+        self.contamination = contamination
+
+    # Subclass hooks ----------------------------------------------------
+    def _fit(self, X: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # Public API --------------------------------------------------------
+    def fit(self, X, y=None) -> "BaseDetector":
+        """Fit the detector on (unlabeled) data and set the threshold."""
+        if not 0.0 < self.contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5).")
+        X = check_array(X)
+        self._fit(X)
+        self.n_features_in_ = X.shape[1]
+        train_scores = self._score(X)
+        self.decision_scores_ = train_scores
+        self.threshold_ = float(
+            np.quantile(train_scores, 1.0 - self.contamination)
+        )
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Outlier scores for ``X`` (higher = more anomalous)."""
+        check_is_fitted(self, ["threshold_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; detector was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return self._score(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary labels: 1 = outlier, 0 = inlier."""
+        return (self.decision_function(X) > self.threshold_).astype(np.int64)

@@ -1,0 +1,144 @@
+"""Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+
+Each tree isolates points by recursive random (feature, threshold) splits on
+a subsample; anomalies isolate in few splits. The score is the standard
+``2^(−E[h(x)] / c(ψ))`` with the average-path-length normalizer c.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.outliers.base import BaseDetector
+from repro.utils.validation import check_random_state
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+def average_path_length(n) -> np.ndarray:
+    """c(n): expected path length of an unsuccessful BST search."""
+    n = np.asarray(n, dtype=np.float64)
+    out = np.zeros_like(n)
+    mask = n > 2
+    out[mask] = 2.0 * (np.log(n[mask] - 1.0) + _EULER_GAMMA) - 2.0 * (
+        n[mask] - 1.0
+    ) / n[mask]
+    out[n == 2] = 1.0
+    return out
+
+
+class _IsolationTree:
+    """One isolation tree in flat-array form."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "size")
+
+    def __init__(self, X: np.ndarray, rng: np.random.Generator, max_depth: int):
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        size: List[int] = []
+
+        def new_node() -> int:
+            feature.append(-1)
+            threshold.append(np.nan)
+            left.append(-1)
+            right.append(-1)
+            size.append(0)
+            return len(feature) - 1
+
+        root = new_node()
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        d = X.shape[1]
+        while stack:
+            node, idx, depth = stack.pop()
+            size[node] = idx.shape[0]
+            if depth >= max_depth or idx.shape[0] <= 1:
+                continue
+            sub = X[idx]
+            lo = sub.min(axis=0)
+            hi = sub.max(axis=0)
+            candidates = np.nonzero(hi > lo)[0]
+            if candidates.shape[0] == 0:
+                continue
+            f = int(rng.choice(candidates))
+            t = float(rng.uniform(lo[f], hi[f]))
+            go_left = sub[:, f] <= t
+            l_id = new_node()
+            r_id = new_node()
+            feature[node] = f
+            threshold[node] = t
+            left[node] = l_id
+            right[node] = r_id
+            stack.append((l_id, idx[go_left], depth + 1))
+            stack.append((r_id, idx[~go_left], depth + 1))
+
+        self.feature = np.asarray(feature, dtype=np.int64)
+        self.threshold = np.asarray(threshold, dtype=np.float64)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.size = np.asarray(size, dtype=np.int64)
+
+    def path_length(self, X: np.ndarray) -> np.ndarray:
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        depth = np.zeros(X.shape[0], dtype=np.float64)
+        active = self.feature[node] != -1
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = node[idx]
+            f = self.feature[cur]
+            go_left = X[idx, f] <= self.threshold[cur]
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            depth[idx] += 1.0
+            active[idx] = self.feature[node[idx]] != -1
+        # Leaves holding >1 point contribute the expected extra depth.
+        depth += average_path_length(self.size[node])
+        return depth
+
+
+class IForest(BaseDetector):
+    """Isolation forest.
+
+    Parameters
+    ----------
+    n_estimators : int
+        Number of trees.
+    max_samples : int
+        Subsample size per tree (ψ; the paper's default 256).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_samples: int = 256,
+        contamination: float = 0.1,
+        random_state=None,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def _fit(self, X: np.ndarray) -> None:
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        psi = min(self.max_samples, n)
+        max_depth = int(np.ceil(np.log2(max(psi, 2))))
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(n, size=psi, replace=False)
+            self.trees_.append(_IsolationTree(X[idx], rng, max_depth))
+        self._psi = psi
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        depths = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            depths += tree.path_length(X)
+        mean_depth = depths / len(self.trees_)
+        c = float(average_path_length(np.array([self._psi]))[0])
+        c = max(c, 1e-12)
+        return np.power(2.0, -mean_depth / c)

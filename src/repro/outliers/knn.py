@@ -1,0 +1,54 @@
+"""kNN outlier detection (Ramaswamy, Rastogi & Shim, SIGMOD 2000).
+
+The outlier score of a point is its distance to its k-th nearest neighbor
+(``method='largest'``); 'mean' and 'median' aggregate over all k neighbor
+distances, as in PyOD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.neighbors import NearestNeighbors
+from repro.outliers.base import BaseDetector
+
+
+class KNNDetector(BaseDetector):
+    """kNN distance detector.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        k.
+    method : {'largest', 'mean', 'median'}
+        How neighbor distances aggregate into a score.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        method: str = "largest",
+        contamination: float = 0.1,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_neighbors = n_neighbors
+        self.method = method
+
+    def _fit(self, X: np.ndarray) -> None:
+        if self.method not in ("largest", "mean", "median"):
+            raise ValueError("method must be 'largest', 'mean' or 'median'.")
+        k = min(self.n_neighbors, X.shape[0] - 1)
+        if k < 1:
+            raise ValueError("KNN needs at least 2 samples.")
+        self.nn_ = NearestNeighbors(n_neighbors=k).fit(X)
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        exclude_self = X.shape == self.nn_._fit_X_.shape and np.array_equal(
+            X, self.nn_._fit_X_
+        )
+        dist, _ = self.nn_.kneighbors(X, exclude_self=exclude_self)
+        if self.method == "largest":
+            return dist[:, -1]
+        if self.method == "mean":
+            return dist.mean(axis=1)
+        return np.median(dist, axis=1)

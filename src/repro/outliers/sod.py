@@ -1,0 +1,89 @@
+"""Subspace Outlier Detection (Kriegel et al., PAKDD 2009).
+
+For each point, build a reference set from shared-nearest-neighbor
+similarity, find the axis-parallel subspace in which the reference set
+has low variance, and score the point by its normalized distance to the
+reference mean within that subspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.neighbors import NearestNeighbors
+from repro.outliers.base import BaseDetector
+
+
+class SOD(BaseDetector):
+    """Subspace outlier degree.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        Candidate neighbors used for SNN similarity.
+    ref_set : int
+        Reference set size (l ≤ n_neighbors).
+    alpha : float
+        A dimension is kept when its reference-set variance is below
+        ``alpha`` times the mean per-dimension variance.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 20,
+        ref_set: int = 10,
+        alpha: float = 0.8,
+        contamination: float = 0.1,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_neighbors = n_neighbors
+        self.ref_set = ref_set
+        self.alpha = alpha
+
+    def _fit(self, X: np.ndarray) -> None:
+        if self.ref_set > self.n_neighbors:
+            raise ValueError("ref_set must be <= n_neighbors.")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive.")
+        k = min(self.n_neighbors, X.shape[0] - 1)
+        l = min(self.ref_set, k)
+        if k < 1:
+            raise ValueError("SOD needs at least 2 samples.")
+        self._k, self._l = k, l
+        self.nn_ = NearestNeighbors(n_neighbors=k).fit(X)
+        _, self._train_knn_ = self.nn_.kneighbors()
+
+    def _reference_set(self, idx_query: np.ndarray) -> np.ndarray:
+        """Pick the l training points sharing the most neighbors."""
+        # SNN similarity between the query's kNN list and each candidate's.
+        candidates = np.unique(idx_query)
+        sims = np.array(
+            [
+                np.intersect1d(
+                    idx_query, self._train_knn_[c], assume_unique=False
+                ).shape[0]
+                for c in candidates
+            ]
+        )
+        order = np.argsort(sims)[::-1]
+        return candidates[order[: self._l]]
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        exclude_self = X.shape == self.nn_._fit_X_.shape and np.array_equal(
+            X, self.nn_._fit_X_
+        )
+        _, idx = self.nn_.kneighbors(X, exclude_self=exclude_self)
+        train = self.nn_._fit_X_
+        scores = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            ref = train[self._reference_set(idx[i])]
+            mean = ref.mean(axis=0)
+            var = ref.var(axis=0)
+            mean_var = var.mean()
+            keep = var < self.alpha * mean_var
+            if not keep.any():
+                scores[i] = 0.0
+                continue
+            diff = (X[i] - mean)[keep]
+            scores[i] = float(np.sqrt(np.sum(diff**2)) / keep.sum())
+        return scores

@@ -1,0 +1,97 @@
+"""Stochastic Outlier Selection (Janssens et al., 2012).
+
+Each point gets a Gaussian affinity to the others whose bandwidth is tuned
+by binary search so its binding distribution has a fixed perplexity. The
+outlier probability of a point is the product over the others of (1 − their
+binding probability to it) — nobody "chooses" an outlier as a neighbor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.outliers.base import BaseDetector
+
+
+def _binding_probabilities(
+    D2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 60
+) -> np.ndarray:
+    """Row-stochastic binding matrix B with target perplexity per row."""
+    n = D2.shape[0]
+    B = np.zeros((n, n))
+    log_perp = np.log(perplexity)
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        d = np.delete(D2[i], i)
+        for _ in range(max_iter):
+            aff = np.exp(-d * beta)
+            s = aff.sum()
+            if s <= 0:
+                h = 0.0
+                p = np.zeros_like(aff)
+            else:
+                p = aff / s
+                h = -np.sum(p[p > 0] * np.log(p[p > 0]))  # Shannon entropy
+            diff = h - log_perp
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_lo = beta
+                beta = beta * 2.0 if not np.isfinite(beta_hi) else 0.5 * (beta + beta_hi)
+            else:
+                beta_hi = beta
+                beta = 0.5 * (beta + beta_lo)
+        row = np.zeros(n)
+        row[np.arange(n) != i] = p
+        B[i] = row
+    return B
+
+
+class SOS(BaseDetector):
+    """Stochastic outlier selection.
+
+    SOS is transductive: scores are only meaningful for points that were part
+    of the affinity computation. Callers scoring a subset of the training
+    data should slice ``decision_scores_`` instead of calling
+    ``decision_function`` on the subset (which would duplicate those points
+    in the joint affinity matrix); the ``transductive`` flag advertises this.
+
+    Parameters
+    ----------
+    perplexity : float
+        Effective neighborhood size.
+    """
+
+    transductive = True
+
+    def __init__(self, perplexity: float = 4.5, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        self.perplexity = perplexity
+
+    def _fit(self, X: np.ndarray) -> None:
+        if self.perplexity < 1:
+            raise ValueError("perplexity must be >= 1.")
+        self._train_X_ = X
+
+    def _sos_scores(self, X: np.ndarray) -> np.ndarray:
+        D2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ X.T
+            + np.sum(X**2, axis=1)[None, :]
+        )
+        np.maximum(D2, 0.0, out=D2)
+        perp = min(self.perplexity, X.shape[0] - 1)
+        B = _binding_probabilities(D2, perp)
+        # P(outlier_j) = prod_i (1 - b_ij)
+        with np.errstate(divide="ignore"):
+            log1m = np.log(np.maximum(1.0 - B, 1e-12))
+        return np.exp(log1m.sum(axis=0))
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        # SOS is transductive: score points within the joint dataset so
+        # affinities reflect both training and query points.
+        if X.shape == self._train_X_.shape and np.array_equal(X, self._train_X_):
+            return self._sos_scores(X)
+        joint = np.vstack([self._train_X_, X])
+        return self._sos_scores(joint)[self._train_X_.shape[0]:]

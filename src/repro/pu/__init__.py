@@ -1,0 +1,13 @@
+"""Positive-unlabeled learning baselines (paper §3.3, Table 3).
+
+Both learners treat one class as *labeled* and everything else as
+*unlabeled*. In the online straggler setting the labeled set is the finished
+tasks — which is exactly where the PU independence assumption breaks (the
+labeled examples are not a random sample of non-stragglers, only the fast
+ones), the failure mode the paper demonstrates.
+"""
+
+from repro.pu.elkan_noto import ElkanNotoClassifier
+from repro.pu.bagging import BaggingPuClassifier
+
+__all__ = ["ElkanNotoClassifier", "BaggingPuClassifier"]

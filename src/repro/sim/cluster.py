@@ -1,0 +1,46 @@
+"""Machine-pool model used by the limited-machines scheduler (Algorithm 3).
+
+The pool tracks when spare machines become available. A job's n tasks occupy
+their original machines; a machine joins the spare pool when its (unflagged)
+task finishes or when a relaunched task completes. Machines that hosted a
+*flagged* task are retired — the paper relaunches "on a new machine" because
+the old one is implicated in the straggling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+
+class MachinePool:
+    """Min-heap of machine-available times."""
+
+    def __init__(self, initial_spares: int):
+        if initial_spares < 0:
+            raise ValueError("initial_spares must be >= 0.")
+        # Spare machines are available from time 0.
+        self._heap: List[float] = [0.0] * initial_spares
+        heapq.heapify(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def release(self, when: float) -> None:
+        """A machine becomes available at time ``when``."""
+        heapq.heappush(self._heap, float(when))
+
+    def acquire(self, not_before: float) -> Optional[float]:
+        """Take the earliest machine usable at or after ``not_before``.
+
+        Returns the actual start time (max of availability and
+        ``not_before``), or None when the pool is empty.
+        """
+        if not self._heap:
+            return None
+        avail = heapq.heappop(self._heap)
+        return max(avail, float(not_before))
+
+    def peek(self) -> Optional[float]:
+        """Earliest availability time without removing it."""
+        return self._heap[0] if self._heap else None

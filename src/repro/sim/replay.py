@@ -1,0 +1,270 @@
+"""Checkpoint-replay engine (paper §6 "Evaluation methodology").
+
+``ReplaySimulator`` replays one job as a stream: at each time checkpoint
+``τ_run_t`` the tasks with latency ≤ τ_run_t are *finished* (their true
+latency is revealed) and the rest are *running* (their latency is censored).
+The simulator feeds an :class:`~repro.core.base.OnlineStragglerPredictor`
+the observable information only, collects its straggler flags, and never
+lets a flagged task be evaluated again (paper §7.1).
+
+Feature observability: a running task's monitored metrics are still
+converging toward their final values, so observed features at checkpoint t
+are the final features perturbed multiplicatively by noise that decays with
+task progress (fully-finished tasks are observed exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import OnlineStragglerPredictor
+from repro.learn.metrics import (
+    f1_score,
+    false_negative_rate,
+    false_positive_rate,
+    true_positive_rate,
+)
+from repro.traces.schema import Job
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one job with one predictor.
+
+    ``flag_time[i]`` is ``np.inf`` for tasks never flagged.
+    """
+
+    job_id: str
+    tau_stra: float
+    y_true: np.ndarray          # ground-truth straggler mask
+    y_flag: np.ndarray          # predicted straggler mask (flagged at any point)
+    flag_times: np.ndarray      # time each task was flagged (inf = never)
+    checkpoints: np.ndarray     # the τ_run_t grid used
+    latencies: np.ndarray       # true task execution times (for schedulers)
+    start_times: np.ndarray = None  # task start times (zeros when absent)
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.start_times is None:
+            self.start_times = np.zeros_like(self.latencies)
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        return self.start_times + self.latencies
+
+    # ------------------------------------------------------------------
+    @property
+    def tpr(self) -> float:
+        return true_positive_rate(self.y_true, self.y_flag)
+
+    @property
+    def fpr(self) -> float:
+        return false_positive_rate(self.y_true, self.y_flag)
+
+    @property
+    def fnr(self) -> float:
+        return false_negative_rate(self.y_true, self.y_flag)
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.y_true, self.y_flag)
+
+    def f1_at_time(self, tau: float) -> float:
+        """F1 of the flags issued up to time ``tau`` against full ground truth."""
+        flagged_by_tau = self.flag_times <= tau
+        return f1_score(self.y_true, flagged_by_tau)
+
+    def streaming_f1(self, n_points: int = 10) -> np.ndarray:
+        """F1 at ``n_points`` normalized times in (0, 1] (paper Figs. 2–3)."""
+        if n_points < 1:
+            raise ValueError("n_points must be >= 1.")
+        t_max = float(self.completion_times.max())
+        taus = np.linspace(1.0 / n_points, 1.0, n_points) * t_max
+        return np.array([self.f1_at_time(t) for t in taus])
+
+
+class ReplaySimulator:
+    """Replays a job's execution for an online straggler predictor.
+
+    Parameters
+    ----------
+    n_checkpoints : int
+        Number of prediction checkpoints between warmup and job completion.
+    warmup_fraction : float
+        Fraction of tasks that must finish before prediction starts (the
+        paper waits for 4% — all necessarily non-stragglers).
+    straggler_percentile : float
+        τ_stra as a latency percentile (paper uses p90; §6 reports
+        robustness over p70–p95).
+    feature_noise : float
+        Scale of the progress-dependent observation noise on running tasks'
+        features; 0 disables it.
+    grid : {'log', 'time', 'quantile'}
+        Checkpoint spacing. 'log' (default) places checkpoints geometrically
+        in wall-clock time between the warmup instant and job completion —
+        a compact stand-in for the paper's dense trace checkpoints that
+        covers both the early era (few tasks finished, where PU methods
+        flood) and the straggler tail (where online updates matter).
+        'time' is uniform in wall-clock time; 'quantile' uniform in the
+        finished-task fraction. Both alternatives are kept for ablations.
+    random_state : int or Generator or None
+        Seed for the observation noise.
+    """
+
+    def __init__(
+        self,
+        n_checkpoints: int = 15,
+        warmup_fraction: float = 0.04,
+        straggler_percentile: float = 90.0,
+        feature_noise: float = 0.05,
+        grid: str = "log",
+        random_state=None,
+    ):
+        if n_checkpoints < 1:
+            raise ValueError("n_checkpoints must be >= 1.")
+        if not 0.0 < warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in (0, 1).")
+        if not 0.0 < straggler_percentile < 100.0:
+            raise ValueError("straggler_percentile must be in (0, 100).")
+        if feature_noise < 0:
+            raise ValueError("feature_noise must be non-negative.")
+        if grid not in ("log", "time", "quantile"):
+            raise ValueError("grid must be 'log', 'time' or 'quantile'.")
+        self.n_checkpoints = n_checkpoints
+        self.warmup_fraction = warmup_fraction
+        self.straggler_percentile = straggler_percentile
+        self.feature_noise = feature_noise
+        self.grid = grid
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def checkpoint_grid(self, job: Job) -> np.ndarray:
+        """τ_run_t values; ``grid[0]`` is the warmup instant.
+
+        'time' mode: uniform in wall-clock time from the warmup instant to
+        just before the last task completes. 'quantile' mode: uniform in the
+        fraction of finished tasks.
+        """
+        completion = job.completion_times
+        warmup_time = float(np.quantile(completion, self.warmup_fraction))
+        t_end = 0.98 * float(completion.max())
+        t_end = max(t_end, warmup_time * (1.0 + 1e-9))
+        if self.grid == "log":
+            grid = np.geomspace(
+                max(warmup_time, 1e-9), t_end, self.n_checkpoints + 1
+            )
+        elif self.grid == "time":
+            grid = np.linspace(warmup_time, t_end, self.n_checkpoints + 1)
+        else:
+            q = np.linspace(self.warmup_fraction, 0.995, self.n_checkpoints + 1)
+            grid = np.quantile(completion, q)
+            grid = np.maximum.accumulate(grid)
+        return grid
+
+    def observed_features(
+        self, job: Job, tau: float, noise_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Features observable at time ``tau`` for every task.
+
+        Finished tasks are observed exactly; running tasks get multiplicative
+        noise shrinking linearly with execution progress.
+        """
+        if self.feature_noise == 0.0:
+            return job.features
+        elapsed = np.maximum(tau - job.start_times, 0.0)
+        progress = np.minimum(1.0, elapsed / job.latencies)
+        scale = self.feature_noise * (1.0 - progress)
+        X = job.features * (1.0 + scale[:, None] * noise_matrix)
+        return np.maximum(X, 0.0)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: Job,
+        predictor: OnlineStragglerPredictor,
+        tau_stra: Optional[float] = None,
+    ) -> ReplayResult:
+        """Replay ``job`` through ``predictor`` and score the outcome."""
+        rng = check_random_state(self.random_state)
+        n = job.n_tasks
+        y = job.latencies
+        starts = job.start_times
+        completion = job.completion_times
+        if tau_stra is None:
+            tau_stra = job.straggler_threshold(self.straggler_percentile)
+        grid = self.checkpoint_grid(job)
+        warmup_time, checkpoints = grid[0], grid[1:]
+        noise_matrix = rng.normal(0.0, 1.0, size=job.features.shape)
+
+        finished = completion <= warmup_time
+        if not finished.any():
+            # Degenerate grid; force the earliest completion to count.
+            finished = completion <= completion.min()
+        flagged = np.zeros(n, dtype=bool)
+        flag_times = np.full(n, np.inf)
+
+        X0 = self.observed_features(job, warmup_time, noise_matrix)
+        running0 = (starts <= warmup_time) & ~finished & ~flagged
+        if running0.any():
+            predictor.begin_job(
+                X0[finished], y[finished], X0[running0], tau_stra
+            )
+        else:
+            predictor.begin_job(
+                X0[finished], y[finished], X0[finished], tau_stra
+            )
+        for tau in checkpoints:
+            finished = completion <= tau
+            # Only tasks that have actually started are observable.
+            running = (starts <= tau) & ~finished & ~flagged
+            if not finished.any():
+                continue
+            if not running.any():
+                continue
+            X_tau = self.observed_features(job, tau, noise_matrix)
+            # Finished tasks' metrics are final; use exact features for them.
+            X_fin = job.features[finished]
+            y_fin = y[finished]
+            elapsed_run = tau - starts[running]
+            predictor.update(X_fin, y_fin, X_tau[running], elapsed_run)
+            flags = np.asarray(
+                predictor.predict_stragglers(X_tau[running]), dtype=bool
+            )
+            if flags.shape[0] != int(running.sum()):
+                raise ValueError(
+                    f"{predictor.name} returned {flags.shape[0]} flags for "
+                    f"{int(running.sum())} running tasks."
+                )
+            idx = np.nonzero(running)[0][flags]
+            flagged[idx] = True
+            flag_times[idx] = tau
+
+        return ReplayResult(
+            job_id=job.job_id,
+            tau_stra=float(tau_stra),
+            y_true=job.latencies >= tau_stra,
+            y_flag=flagged,
+            flag_times=flag_times,
+            checkpoints=checkpoints,
+            latencies=y.copy(),
+            start_times=starts.copy(),
+            meta={"warmup_time": float(warmup_time)},
+        )
+
+    def run_trace(
+        self, trace, predictor_factory, tau_stra: Optional[float] = None
+    ) -> List[ReplayResult]:
+        """Replay every job of a trace; a fresh predictor per job.
+
+        ``predictor_factory`` is a zero-argument callable returning a new
+        predictor (the paper trains one model per job).
+        """
+        results = []
+        for job in trace:
+            predictor = predictor_factory()
+            results.append(self.run(job, predictor, tau_stra=tau_stra))
+        return results

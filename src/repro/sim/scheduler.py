@@ -1,0 +1,182 @@
+"""Straggler-mitigation schedulers (paper §5, Algorithms 2 and 3).
+
+Both schedulers terminate a task the moment it is flagged and relaunch it;
+per the paper (§7.3) the relaunched execution time is *randomly sampled from
+the job's existing execution times*. False positives therefore carry a real
+cost — a wrongly relaunched task restarts from its flag time.
+
+- :func:`simulate_unlimited_machines` (Algorithm 2): a new machine is always
+  free, so the relaunch starts immediately at the flag time.
+- :func:`simulate_limited_machines` (Algorithm 3): the cluster has ``m``
+  machines. ``max(0, m - n)`` spares exist at time 0; machines running
+  non-flagged tasks join the pool as those tasks finish, and relaunched
+  tasks return their machine on completion. A flagged task keeps running
+  until a machine is actually available (the scheduler only terminates when
+  it can relaunch), and the machine that hosted it is retired as suspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.replay import ReplayResult
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class ScheduleOutcome:
+    """Completion times with and without mitigation for one job."""
+
+    job_id: str
+    baseline_jct: float
+    mitigated_jct: float
+    n_relaunched: int
+
+    @property
+    def reduction_pct(self) -> float:
+        """Percent reduction in job completion time (higher is better)."""
+        if self.baseline_jct <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_jct - self.mitigated_jct) / self.baseline_jct
+
+
+def _resample_latency(latencies: np.ndarray, rng: np.random.Generator) -> float:
+    """Relaunched execution time: drawn from the observed latency empirical
+    distribution (paper §7.3)."""
+    return float(latencies[int(rng.integers(latencies.shape[0]))])
+
+
+def simulate_unlimited_machines(
+    result: ReplayResult, random_state=None
+) -> ScheduleOutcome:
+    """Algorithm 2: relaunch every flagged task immediately on a new machine."""
+    rng = check_random_state(random_state)
+    y = result.latencies
+    completion = result.completion_times.copy()
+    flagged = np.isfinite(result.flag_times)
+    for i in np.nonzero(flagged)[0]:
+        completion[i] = result.flag_times[i] + _resample_latency(y, rng)
+    return ScheduleOutcome(
+        job_id=result.job_id,
+        baseline_jct=float(result.completion_times.max()),
+        mitigated_jct=float(completion.max()),
+        n_relaunched=int(flagged.sum()),
+    )
+
+
+def _earliest_feasible_start(
+    flag_time: float,
+    occupancy_events,          # sorted list of (time, delta) for originals
+    relaunch_intervals,        # list of (start, end) of accepted relaunches
+    n_machines: int,
+):
+    """Earliest T ≥ flag_time with total occupancy < n_machines.
+
+    Candidate times are the flag time itself and every occupancy-decreasing
+    event after it (a machine can only free up at an event).
+    """
+
+    def occupancy_at(t: float) -> int:
+        occ = 0
+        for time, delta in occupancy_events:
+            if time > t:
+                break
+            occ += delta
+        occ += sum(1 for s, e in relaunch_intervals if s <= t < e)
+        return occ
+
+    if occupancy_at(flag_time) < n_machines:
+        return flag_time
+    candidates = sorted(
+        {time for time, delta in occupancy_events if delta < 0 and time > flag_time}
+        | {e for _, e in relaunch_intervals if e > flag_time}
+    )
+    for t in candidates:
+        if occupancy_at(t) < n_machines:
+            return t
+    return None
+
+
+def simulate_limited_machines(
+    result: ReplayResult,
+    n_machines: int,
+    random_state=None,
+) -> ScheduleOutcome:
+    """Algorithm 3: relaunch flagged tasks as machines become available.
+
+    The cluster has ``n_machines`` machines. The trace's original schedule
+    (task start times) is taken as fixed; a relaunch can only be placed at a
+    moment when total occupancy — original tasks still executing plus active
+    relaunches — is below the cluster size. Flagged tasks are served in
+    flag-time order; a flagged task whose relaunch must wait keeps running
+    until the relaunch is actually placed (the scheduler only terminates
+    when it can relaunch, per Algorithm 3), and a task that can never be
+    placed simply runs to its original completion.
+    """
+    if n_machines < 1:
+        raise ValueError("n_machines must be >= 1.")
+    rng = check_random_state(random_state)
+    y = result.latencies
+    n = y.shape[0]
+    completion = result.completion_times.copy()
+    starts = result.start_times
+    flagged_idx = np.nonzero(np.isfinite(result.flag_times))[0]
+    order = flagged_idx[np.argsort(result.flag_times[flagged_idx])]
+
+    # Original occupancy: +1 at start; −1 at completion (unflagged) or at
+    # termination = flag time (flagged).
+    events = []
+    flagged_set = set(int(i) for i in flagged_idx)
+    for i in range(n):
+        events.append((float(starts[i]), +1))
+        if i in flagged_set:
+            events.append((float(result.flag_times[i]), -1))
+        else:
+            events.append((float(completion[i]), -1))
+    events.sort()
+
+    relaunch_intervals = []
+    n_relaunched = 0
+    for i in order:
+        t0 = _earliest_feasible_start(
+            float(result.flag_times[i]), events, relaunch_intervals, n_machines
+        )
+        if t0 is None:
+            continue
+        new_latency = _resample_latency(y, rng)
+        end = t0 + new_latency
+        relaunch_intervals.append((t0, end))
+        completion[i] = end
+        n_relaunched += 1
+
+    return ScheduleOutcome(
+        job_id=result.job_id,
+        baseline_jct=float(result.completion_times.max()),
+        mitigated_jct=float(completion.max()),
+        n_relaunched=n_relaunched,
+    )
+
+
+def jct_reduction(
+    results,
+    n_machines: Optional[int] = None,
+    random_state=None,
+) -> float:
+    """Average percent JCT reduction over jobs (paper Figs. 4–9).
+
+    ``n_machines=None`` selects Algorithm 2 (unlimited machines).
+    """
+    rng = check_random_state(random_state)
+    reductions = []
+    for res in results:
+        if n_machines is None:
+            out = simulate_unlimited_machines(res, random_state=rng)
+        else:
+            out = simulate_limited_machines(res, n_machines, random_state=rng)
+        reductions.append(out.reduction_pct)
+    if not reductions:
+        raise ValueError("no replay results supplied.")
+    return float(np.mean(reductions))

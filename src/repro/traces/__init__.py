@@ -1,0 +1,27 @@
+"""Cluster-trace substrate: schema, synthetic generators, filtering and I/O.
+
+The paper evaluates on the Google 2011 and Alibaba 2017/2018 production
+traces. Those datasets are not available offline, so this package provides
+synthetic generators that reproduce the *statistical structure* the paper's
+method exploits (per-job heterogeneous latency distributions, feature–latency
+coupling, p90-tail stragglers) with the exact feature schemas of the paper's
+Tables 1 and 2. See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.traces.schema import Job, Trace, GOOGLE_FEATURES, ALIBABA_FEATURES
+from repro.traces.google import GoogleTraceGenerator
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.filters import filter_jobs_by_size
+from repro.traces.io import save_trace_csv, load_trace_csv
+
+__all__ = [
+    "Job",
+    "Trace",
+    "GOOGLE_FEATURES",
+    "ALIBABA_FEATURES",
+    "GoogleTraceGenerator",
+    "AlibabaTraceGenerator",
+    "filter_jobs_by_size",
+    "save_trace_csv",
+    "load_trace_csv",
+]

@@ -1,0 +1,18 @@
+"""Trace filtering mirroring the paper's preprocessing (§6)."""
+
+from __future__ import annotations
+
+from repro.traces.schema import Trace
+
+
+def filter_jobs_by_size(trace: Trace, min_tasks: int = 100) -> Trace:
+    """Keep only jobs with at least ``min_tasks`` tasks.
+
+    The paper filters the Google trace to production jobs with >= 100 tasks
+    (650K jobs / 25M tasks → 8425 jobs / 1.1M tasks) and Alibaba tasks to
+    those with >= 100 instances.
+    """
+    if min_tasks < 1:
+        raise ValueError("min_tasks must be >= 1.")
+    kept = [job for job in trace.jobs if job.n_tasks >= min_tasks]
+    return Trace(name=trace.name, jobs=kept)

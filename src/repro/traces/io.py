@@ -1,0 +1,74 @@
+"""Trace persistence: one CSV per trace, self-describing header.
+
+Format: columns ``job_id, latency, <feature...>`` — the same flat layout the
+public Google/Alibaba trace dumps use after joining task events with usage
+tables, so a user can load the *real* traces into :class:`repro.traces.Trace`
+by converting them to this CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.schema import Job, Trace
+
+
+def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write the trace to ``path`` as CSV."""
+    path = Path(path)
+    if not trace.jobs:
+        raise ValueError("cannot save an empty trace.")
+    feature_names = trace.jobs[0].feature_names
+    for job in trace.jobs:
+        if job.feature_names != feature_names:
+            raise ValueError(
+                f"job {job.job_id} has a different feature schema; traces "
+                "must be homogeneous."
+            )
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["job_id", "latency", *feature_names])
+        for job in trace.jobs:
+            for i in range(job.n_tasks):
+                writer.writerow(
+                    [job.job_id, repr(float(job.latencies[i]))]
+                    + [repr(float(v)) for v in job.features[i]]
+                )
+
+
+def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
+    """Read a trace written by :func:`save_trace_csv` (or converted real data)."""
+    path = Path(path)
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if len(header) < 3 or header[0] != "job_id" or header[1] != "latency":
+            raise ValueError(
+                f"{path} is not a trace CSV (expected 'job_id,latency,<features>' "
+                f"header, got {header[:3]}...)."
+            )
+        feature_names = header[2:]
+        rows_by_job = defaultdict(list)
+        order = []
+        for row in reader:
+            job_id = row[0]
+            if job_id not in rows_by_job:
+                order.append(job_id)
+            rows_by_job[job_id].append([float(v) for v in row[1:]])
+    jobs = []
+    for job_id in order:
+        arr = np.asarray(rows_by_job[job_id], dtype=np.float64)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                features=arr[:, 1:],
+                latencies=arr[:, 0],
+                feature_names=list(feature_names),
+            )
+        )
+    return Trace(name=name or path.stem, jobs=jobs)

@@ -1,0 +1,17 @@
+"""Shared utilities: array validation and random-state handling."""
+
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_random_state,
+    check_is_fitted,
+    NotFittedError,
+)
+
+__all__ = [
+    "check_array",
+    "check_X_y",
+    "check_random_state",
+    "check_is_fitted",
+    "NotFittedError",
+]

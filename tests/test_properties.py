@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calibration import clip_weight, compute_delta, compute_rho
+from repro.learn.preprocessing import MinMaxScaler, StandardScaler
+from repro.learn.tree import DecisionTreeRegressor
+from repro.sim.replay import ReplayResult
+from repro.traces.schema import Job
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.01, max_value=0.99),
+)
+def test_delta_always_in_open_interval(rho, alpha):
+    d = compute_delta(rho, alpha, rho_max=np.inf)
+    assert -alpha < d <= 1.0 - alpha
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30),
+    st.floats(min_value=-0.49, max_value=0.49),
+    st.floats(min_value=0.01, max_value=0.3),
+)
+def test_clip_weight_always_in_eps_one(z, delta, eps):
+    w = clip_weight(np.asarray(z), delta, eps)
+    assert (w >= eps - 1e-12).all()
+    assert (w <= 1.0 + 1e-12).all()
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_rho_nonnegative(n_fin, n_run, d, seed):
+    rng = np.random.default_rng(seed)
+    rho = compute_rho(rng.normal(size=(n_fin, d)), rng.normal(size=(n_run, d)))
+    assert rho >= 0.0
+    assert np.isfinite(rho)
+
+
+@given(
+    st.integers(min_value=5, max_value=80),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_tree_predictions_within_target_range(n, d, seed):
+    """A regression tree predicts leaf means, so predictions never leave the
+    convex hull of the training targets."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.normal(size=n) * 10
+    tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    pred = tree.predict(rng.normal(size=(20, d)))
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(
+    st.integers(min_value=3, max_value=60),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_standard_scaler_roundtrip(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(3.0, 2.0, size=(n, d))
+    sc = StandardScaler().fit(X)
+    np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-8)
+
+
+@given(
+    st.integers(min_value=3, max_value=60),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_minmax_scaler_bounds(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    Z = MinMaxScaler().fit_transform(X)
+    assert Z.min() >= -1e-12 and Z.max() <= 1.0 + 1e-12
+
+
+@given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_job_straggler_fraction_close_to_percentile(n, seed):
+    rng = np.random.default_rng(seed)
+    lat = rng.lognormal(0, 1, size=n) + 0.01
+    job = Job("j", rng.random((n, 2)), lat, ["a", "b"])
+    frac = job.straggler_mask(90.0).mean()
+    # At least one task (the max) and at most ~10% + ties.
+    assert frac >= 1.0 / n - 1e-12
+    assert frac <= 0.2 + 1.0 / n
+
+
+@given(st.integers(min_value=5, max_value=50), st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_replay_result_f1_at_time_monotone(n, seed):
+    """Cumulative flags can only add true/false positives, never remove, so
+    the flagged set grows monotonically with time."""
+    rng = np.random.default_rng(seed)
+    lat = rng.lognormal(0, 1, size=n) + 0.01
+    tau = float(np.quantile(lat, 0.9))
+    flag_times = np.where(rng.random(n) < 0.4, rng.uniform(0, lat.max(), n), np.inf)
+    res = ReplayResult(
+        job_id="p",
+        tau_stra=tau,
+        y_true=lat >= tau,
+        y_flag=np.isfinite(flag_times),
+        flag_times=flag_times,
+        checkpoints=np.array([1.0]),
+        latencies=lat,
+    )
+    t_grid = np.linspace(0, lat.max(), 7)
+    flag_counts = [np.sum(res.flag_times <= t) for t in t_grid]
+    assert all(a <= b for a, b in zip(flag_counts, flag_counts[1:]))

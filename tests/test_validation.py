@@ -1,0 +1,123 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    NotFittedError,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_returns_float64(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_allows_1d_when_disabled(self):
+        out = check_array([1.0, 2.0], ensure_2d=False)
+        assert out.shape == (2,)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="0 samples"):
+            check_array(np.zeros((0, 3)))
+
+    def test_allows_empty_when_enabled(self):
+        out = check_array(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_contiguous(self):
+        X = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        out = check_array(X)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_custom_name_in_error(self):
+        with pytest.raises(ValueError, match="myarr"):
+            check_array([1.0], name="myarr")
+
+
+class TestCheckXy:
+    def test_matching(self):
+        X, y = check_X_y([[1.0], [2.0]], [1.0, 2.0])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent lengths"):
+            check_X_y([[1.0], [2.0]], [1.0])
+
+    def test_y_flattened(self):
+        _, y = check_X_y([[1.0], [2.0]], [[1.0], [2.0]])
+        assert y.ndim == 1
+
+    def test_y_nan_rejected(self):
+        with pytest.raises(ValueError, match="y contains"):
+            check_X_y([[1.0], [2.0]], [1.0, np.nan])
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = check_random_state(5).random(3)
+        b = check_random_state(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_legacy_random_state(self):
+        rs = np.random.RandomState(3)
+        assert isinstance(check_random_state(rs), np.random.Generator)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_random_state("seed")
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        class M:
+            pass
+
+        with pytest.raises(NotFittedError):
+            check_is_fitted(M())
+
+    def test_fitted_by_trailing_underscore(self):
+        class M:
+            pass
+
+        m = M()
+        m.coef_ = 1
+        check_is_fitted(m)  # no raise
+
+    def test_explicit_attributes(self):
+        class M:
+            pass
+
+        m = M()
+        m.a_ = 1
+        with pytest.raises(NotFittedError, match="missing"):
+            check_is_fitted(m, ["b_"])
+        check_is_fitted(m, ["a_"])
