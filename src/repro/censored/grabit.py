@@ -13,7 +13,7 @@ import numpy as np
 from scipy.stats import norm
 
 from repro.learn.base import BaseEstimator, RegressorMixin
-from repro.learn.tree import DecisionTreeRegressor
+from repro.learn.tree import _MAX_HIST_BINS, _Binner, DecisionTreeRegressor
 from repro.utils.validation import (
     check_array,
     check_is_fitted,
@@ -54,6 +54,9 @@ class GrabitRegressor(BaseEstimator, RegressorMixin):
     sigma : float or None
         Tobit scale; None estimates it from the uncensored residual std of
         the constant model.
+    splitter : {'hist', 'exact'}
+        Split search strategy of the stage trees; 'hist' bins the features
+        once per fit and reuses the binned matrix across all stages.
     """
 
     def __init__(
@@ -63,6 +66,8 @@ class GrabitRegressor(BaseEstimator, RegressorMixin):
         max_depth: int = 3,
         min_samples_leaf: int = 1,
         sigma=None,
+        splitter: str = "hist",
+        max_bins: int = _MAX_HIST_BINS,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -70,6 +75,8 @@ class GrabitRegressor(BaseEstimator, RegressorMixin):
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.sigma = sigma
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.random_state = random_state
 
     def fit(self, X, y, censored=None) -> "GrabitRegressor":
@@ -93,6 +100,13 @@ class GrabitRegressor(BaseEstimator, RegressorMixin):
         else:
             sigma = max(float(np.std(y[obs] - self.init_raw_)), 1e-6)
         self.sigma_ = sigma
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(
+                f"splitter must be 'exact' or 'hist'; got {self.splitter!r}."
+            )
+        if self.splitter == "hist":
+            binner = _Binner(self.max_bins).fit(X)
+            codes = binner.transform(X)
         raw = np.full(y.shape[0], self.init_raw_)
         self.estimators_ = []
         for _ in range(self.n_estimators):
@@ -100,17 +114,25 @@ class GrabitRegressor(BaseEstimator, RegressorMixin):
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
                 random_state=rng,
             )
-            tree.fit(X, -grad)
-            # Newton leaf values: -(Σ grad) / (Σ hess) per leaf.
-            leaves = tree.tree_.apply(X)
+            if self.splitter == "hist":
+                tree._fit_binned(codes, -grad, binner)
+            else:
+                tree._fit_validated(X, -grad)
+            # Newton leaf values: -(Σ grad) / (Σ hess) per leaf, in one
+            # bincount pass over the builder's recorded leaf assignment.
+            leaves = tree._train_leaves_
+            n_nodes = tree.tree_.node_count
+            gsum = np.bincount(leaves, weights=grad, minlength=n_nodes)
+            hsum = np.bincount(leaves, weights=hess, minlength=n_nodes)
             values = tree.tree_.value.copy()
-            for leaf in np.unique(leaves):
-                members = leaves == leaf
-                values[leaf, 0] = -grad[members].sum() / hess[members].sum()
+            occupied = np.bincount(leaves, minlength=n_nodes) > 0
+            values[occupied, 0] = -gsum[occupied] / hsum[occupied]
             tree.tree_.value = values
-            raw += self.learning_rate * tree.tree_.predict(X)[:, 0]
+            raw += self.learning_rate * values[leaves, 0]
             self.estimators_.append(tree)
         self.n_features_in_ = X.shape[1]
         return self

@@ -32,11 +32,18 @@ from repro.learn.gbm import GradientBoostingRegressor
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 
-def _default_regressor(random_state=None) -> GradientBoostingRegressor:
+def _default_regressor(
+    random_state=None, splitter: str = "hist", warm_start: bool = False
+) -> GradientBoostingRegressor:
     # Small, shallow ensemble: NURD retrains every checkpoint on a few
     # hundred samples, so capacity beyond this only costs time.
     return GradientBoostingRegressor(
-        n_estimators=60, max_depth=3, learning_rate=0.1, random_state=random_state
+        n_estimators=60,
+        max_depth=3,
+        learning_rate=0.1,
+        splitter=splitter,
+        warm_start=warm_start,
+        random_state=random_state,
     )
 
 
@@ -61,6 +68,26 @@ class NurdPredictor(OnlineStragglerPredictor):
         Cap on ρ before Eq. 3 (see
         :func:`repro.core.calibration.compute_delta`); ``np.inf`` recovers
         the paper's exact formula.
+    warm_start : bool
+        When True (default) and the latency model supports it, each
+        checkpoint's :meth:`update` extends the previous checkpoint's
+        ensemble by ``warm_increment`` trees (re-boosting on the enlarged
+        finished set) instead of refitting all 60 trees from scratch — the
+        old trees stay valid because they predict on raw features, and the
+        new stages correct their residuals on the newest data. To avoid
+        anchoring the ensemble on trees fitted to tiny early samples, a
+        full refit is forced whenever the finished set has grown by
+        ``warm_refresh`` since the last full fit (geometric refresh: total
+        refit cost is amortized to ~2 end-of-job fits while the model
+        tracks the data).
+    warm_increment : int
+        Trees added per warm-started checkpoint refit.
+    warm_refresh : float
+        Growth factor of the finished set that triggers a full refit
+        (> 1; ``np.inf`` never refreshes).
+    splitter : {'hist', 'exact'}
+        Split search of the default latency model's trees (ignored when a
+        custom ``regressor`` is supplied).
     random_state : int or Generator or None
         Seed for the boosted trees.
     """
@@ -73,6 +100,10 @@ class NurdPredictor(OnlineStragglerPredictor):
         propensity_model: Optional[BaseEstimator] = None,
         calibrate: bool = True,
         rho_max: float = 1.2,
+        warm_start: bool = True,
+        warm_increment: int = 25,
+        warm_refresh: float = 1.45,
+        splitter: str = "hist",
         random_state=None,
     ):
         self.alpha = alpha
@@ -81,6 +112,10 @@ class NurdPredictor(OnlineStragglerPredictor):
         self.propensity_model = propensity_model
         self.calibrate = calibrate
         self.rho_max = rho_max
+        self.warm_start = warm_start
+        self.warm_increment = warm_increment
+        self.warm_refresh = warm_refresh
+        self.splitter = splitter
         self.random_state = random_state
 
     # ------------------------------------------------------------------
@@ -102,17 +137,53 @@ class NurdPredictor(OnlineStragglerPredictor):
         self._fitted_models = False
 
     def update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
-        """Refit ``h_t`` on finished tasks and ``g_t`` on finished vs running."""
+        """Refit ``h_t`` on finished tasks and ``g_t`` on finished vs running.
+
+        With ``warm_start`` the first checkpoint trains the full ensemble;
+        every later checkpoint re-boosts the existing ensemble with
+        ``warm_increment`` extra trees on the enlarged finished set.
+        """
         check_is_fitted(self, ["tau_stra_"])
+        if self.warm_increment < 1:
+            raise ValueError("warm_increment must be >= 1.")
+        if self.warm_refresh <= 1.0:
+            raise ValueError("warm_refresh must be > 1.")
         X_fin, y_fin = check_X_y(X_fin, y_fin)
         X_run = check_array(X_run, allow_empty=True)
-        base = (
-            self.regressor
-            if self.regressor is not None
-            else _default_regressor(self.random_state)
+        warm_ok = (
+            self.warm_start
+            and getattr(self, "_fitted_models", False)
+            and isinstance(getattr(self, "h_", None), GradientBoostingRegressor)
+            and self.h_.warm_start
+            and X_fin.shape[1] == self.h_.n_features_in_
+            # Geometric refresh: once the finished set outgrows the last
+            # full fit by warm_refresh, old trees (fitted on a much smaller
+            # sample) would dominate — refit from scratch instead.
+            and X_fin.shape[0] < self.warm_refresh * self._n_full_fit
+            # Bound ensemble growth on long checkpoint streams: never let
+            # warm extensions exceed 4x the base capacity.
+            and len(self.h_.estimators_) + self.warm_increment
+            <= 4 * self._base_trees
         )
-        self.h_ = clone(base)
-        self.h_.fit(X_fin, y_fin)
+        if warm_ok:
+            self.h_.set_params(
+                n_estimators=len(self.h_.estimators_) + self.warm_increment
+            )
+            self.h_.fit(X_fin, y_fin)
+        else:
+            base = (
+                self.regressor
+                if self.regressor is not None
+                else _default_regressor(self.random_state, splitter=self.splitter)
+            )
+            self.h_ = clone(base)
+            if self.warm_start and isinstance(
+                self.h_, GradientBoostingRegressor
+            ):
+                self.h_.set_params(warm_start=True)
+            self.h_.fit(X_fin, y_fin)
+            self._n_full_fit = X_fin.shape[0]
+            self._base_trees = max(len(getattr(self.h_, "estimators_", [])), 1)
         if X_run.shape[0] > 0:
             self.g_ = PropensityScorer(model=self.propensity_model)
             self.g_.fit(X_fin, X_run)
@@ -143,7 +214,7 @@ class NurdPredictor(OnlineStragglerPredictor):
 
     def predict_stragglers(self, X_run) -> np.ndarray:
         """Flag tasks whose adjusted prediction crosses the threshold."""
-        X_run = np.asarray(X_run, dtype=float)
+        X_run = check_array(X_run, allow_empty=True)
         if X_run.shape[0] == 0:
             return np.zeros(0, dtype=bool)
         return self.predict_latency(X_run) >= self.tau_stra_
@@ -163,6 +234,10 @@ class NurdNcPredictor(NurdPredictor):
         regressor: Optional[BaseEstimator] = None,
         propensity_model: Optional[BaseEstimator] = None,
         rho_max: float = 1.2,
+        warm_start: bool = True,
+        warm_increment: int = 25,
+        warm_refresh: float = 1.45,
+        splitter: str = "hist",
         random_state=None,
     ):
         super().__init__(
@@ -172,5 +247,9 @@ class NurdNcPredictor(NurdPredictor):
             propensity_model=propensity_model,
             calibrate=False,
             rho_max=rho_max,
+            warm_start=warm_start,
+            warm_increment=warm_increment,
+            warm_refresh=warm_refresh,
+            splitter=splitter,
             random_state=random_state,
         )

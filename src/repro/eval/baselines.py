@@ -39,15 +39,23 @@ from repro.utils.validation import check_random_state
 class GbtrPredictor(OnlineStragglerPredictor):
     """Supervised baseline: plain gradient-boosted latency regression."""
 
-    def __init__(self, n_estimators: int = 60, max_depth: int = 3, random_state=None):
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        max_depth: int = 3,
+        splitter: str = "hist",
+        random_state=None,
+    ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
+        self.splitter = splitter
         self.random_state = random_state
 
     def update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
         self.model_ = GradientBoostingRegressor(
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
+            splitter=self.splitter,
             random_state=self.random_state,
         ).fit(X_fin, y_fin)
 
@@ -181,11 +189,13 @@ class CensoredRegressionPredictor(OnlineStragglerPredictor):
         variant: str = "Tobit",
         censor_mode: str = "tau_run",
         sigma=None,
+        splitter: str = "hist",
         random_state=None,
     ):
         self.variant = variant
         self.censor_mode = censor_mode
         self.sigma = sigma
+        self.splitter = splitter
         self.random_state = random_state
 
     def update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
@@ -207,7 +217,9 @@ class CensoredRegressionPredictor(OnlineStragglerPredictor):
             self.model_ = TobitRegressor()
         elif self.variant == "Grabit":
             self.model_ = GrabitRegressor(
-                sigma=self.sigma, random_state=self.random_state
+                sigma=self.sigma,
+                splitter=self.splitter,
+                random_state=self.random_state,
             )
         else:
             raise ValueError(f"unknown censored variant {self.variant!r}.")

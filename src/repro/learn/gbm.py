@@ -9,6 +9,18 @@ backs XGBOD and is available as an alternative propensity model.
 Each boosting stage fits a regression tree to the negative gradient and then
 re-estimates leaf values with one Newton step of the true loss (the classic
 Friedman/TreeBoost update), so non-quadratic losses converge properly.
+
+Two training-speed levers (both preserve the model family):
+
+- ``splitter="hist"`` (default) quantizes features into ≤255 bins **once per
+  ensemble fit** and grows every stage's tree on the shared binned matrix —
+  the histogram split search of :mod:`repro.learn.tree` without per-tree
+  binning cost.
+- ``warm_start=True`` makes ``fit`` extend an already-fitted ensemble up to
+  the current ``n_estimators`` instead of restarting from scratch: existing
+  trees are kept, raw predictions are re-accumulated on the new data, and
+  only the missing stages are trained. NURD exploits this to reuse each
+  checkpoint's ensemble at the next checkpoint.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.learn.base import BaseEstimator, ClassifierMixin, RegressorMixin
-from repro.learn.tree import DecisionTreeRegressor
+from repro.learn.tree import _MAX_HIST_BINS, _Binner, DecisionTreeRegressor
 from repro.utils.validation import (
     check_array,
     check_is_fitted,
@@ -51,6 +63,31 @@ class LossFunction:
         """Newton-step leaf estimate given the samples in one leaf."""
         raise NotImplementedError
 
+    def leaf_values(
+        self,
+        y: np.ndarray,
+        raw: np.ndarray,
+        residual: np.ndarray,
+        leaves: np.ndarray,
+        n_nodes: int,
+    ):
+        """Newton leaf estimates for all leaves at once.
+
+        Returns ``(values, occupied)`` where ``values[j]`` is the estimate
+        for node ``j`` and ``occupied`` marks nodes holding ≥1 sample. The
+        generic fallback loops; concrete losses override with one
+        ``bincount`` pass.
+        """
+        counts = np.bincount(leaves, minlength=n_nodes)
+        occupied = counts > 0
+        values = np.zeros(n_nodes, dtype=np.float64)
+        for leaf in np.nonzero(occupied)[0]:
+            members = leaves == leaf
+            values[leaf] = self.leaf_value(
+                y[members], raw[members], residual[members]
+            )
+        return values, occupied
+
     def link_inverse(self, raw: np.ndarray) -> np.ndarray:
         """Map raw scores to the prediction scale (identity by default)."""
         return raw
@@ -70,6 +107,15 @@ class LeastSquaresLoss(LossFunction):
 
     def leaf_value(self, y, raw, residual):
         return float(np.mean(residual))
+
+    def leaf_values(self, y, raw, residual, leaves, n_nodes):
+        counts = np.bincount(leaves, minlength=n_nodes)
+        sums = np.bincount(leaves, weights=residual, minlength=n_nodes)
+        occupied = counts > 0
+        values = np.divide(
+            sums, counts, out=np.zeros(n_nodes), where=occupied
+        )
+        return values, occupied
 
 
 class BinomialDevianceLoss(LossFunction):
@@ -94,6 +140,17 @@ class BinomialDevianceLoss(LossFunction):
             return 0.0
         return float(np.sum(residual) / denom)
 
+    def leaf_values(self, y, raw, residual, leaves, n_nodes):
+        p = _sigmoid(raw)
+        counts = np.bincount(leaves, minlength=n_nodes)
+        nums = np.bincount(leaves, weights=residual, minlength=n_nodes)
+        denoms = np.bincount(leaves, weights=p * (1.0 - p), minlength=n_nodes)
+        occupied = counts > 0
+        values = np.divide(
+            nums, denoms, out=np.zeros(n_nodes), where=denoms >= 1e-12
+        )
+        return values, occupied
+
     def link_inverse(self, raw):
         return _sigmoid(raw)
 
@@ -117,6 +174,9 @@ class _BaseGradientBoosting(BaseEstimator):
         min_samples_leaf: int = 1,
         subsample: float = 1.0,
         max_features: Optional[float] = None,
+        splitter: str = "hist",
+        max_bins: int = _MAX_HIST_BINS,
+        warm_start: bool = False,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -126,6 +186,9 @@ class _BaseGradientBoosting(BaseEstimator):
         self.min_samples_leaf = min_samples_leaf
         self.subsample = subsample
         self.max_features = max_features
+        self.splitter = splitter
+        self.max_bins = max_bins
+        self.warm_start = warm_start
         self.random_state = random_state
 
     def _make_loss(self) -> LossFunction:
@@ -138,15 +201,45 @@ class _BaseGradientBoosting(BaseEstimator):
             raise ValueError("learning_rate must be in (0, 1].")
         if not 0.0 < self.subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1].")
-        rng = check_random_state(self.random_state)
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(
+                f"splitter must be 'exact' or 'hist'; got {self.splitter!r}."
+            )
         loss = self._make_loss()
         n = X.shape[0]
-        self.init_raw_ = loss.init_raw(y)
-        raw = np.full(n, self.init_raw_, dtype=np.float64)
-        self.estimators_ = []
-        self.train_loss_ = []
+        if self.warm_start and getattr(self, "estimators_", None):
+            # Continue boosting: keep fitted trees, replay them on the new
+            # data, and train only the stages still missing.
+            if X.shape[1] != self.n_features_in_:
+                raise ValueError(
+                    f"warm_start refit got {X.shape[1]} features; ensemble "
+                    f"was fitted with {self.n_features_in_}."
+                )
+            n_new = self.n_estimators - len(self.estimators_)
+            if n_new < 0:
+                raise ValueError(
+                    f"warm_start requires n_estimators "
+                    f"({self.n_estimators}) >= the {len(self.estimators_)} "
+                    "trees already fitted."
+                )
+            rng = self._rng
+            raw = np.full(n, self.init_raw_, dtype=np.float64)
+            for tree in self.estimators_:
+                raw += self.learning_rate * tree.tree_.predict(X)[:, 0]
+        else:
+            rng = check_random_state(self.random_state)
+            self._rng = rng
+            self.init_raw_ = loss.init_raw(y)
+            raw = np.full(n, self.init_raw_, dtype=np.float64)
+            self.estimators_ = []
+            self.train_loss_ = []
+            n_new = self.n_estimators
+        if self.splitter == "hist":
+            # Bin once per fit; every stage reuses the shared codes.
+            binner = _Binner(self.max_bins).fit(X)
+            codes = binner.transform(X)
         n_sub = max(1, int(round(self.subsample * n)))
-        for _ in range(self.n_estimators):
+        for _ in range(n_new):
             residual = loss.negative_gradient(y, raw)
             if self.subsample < 1.0:
                 idx = rng.choice(n, size=n_sub, replace=False)
@@ -157,19 +250,30 @@ class _BaseGradientBoosting(BaseEstimator):
                 min_samples_split=self.min_samples_split,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
                 random_state=rng,
             )
-            tree.fit(X[idx], residual[idx])
-            # Newton re-estimation of leaf values on the in-bag samples.
-            leaves_in = tree.tree_.apply(X[idx])
+            if self.splitter == "hist":
+                tree._fit_binned(codes[idx], residual[idx], binner)
+            else:
+                tree._fit_validated(X[idx], residual[idx])
+            # Newton re-estimation of leaf values on the in-bag samples;
+            # the builder already recorded their leaf assignment.
+            leaves_in = tree._train_leaves_
             new_values = tree.tree_.value.copy()
-            for leaf in np.unique(leaves_in):
-                members = idx[leaves_in == leaf]
-                new_values[leaf, 0] = loss.leaf_value(
-                    y[members], raw[members], residual[members]
-                )
+            values, occupied = loss.leaf_values(
+                y[idx], raw[idx], residual[idx], leaves_in,
+                tree.tree_.node_count,
+            )
+            new_values[occupied, 0] = values[occupied]
             tree.tree_.value = new_values
-            raw += self.learning_rate * tree.tree_.predict(X)[:, 0]
+            if idx.shape[0] == n:
+                # No subsampling: the train-leaf assignment covers every
+                # sample, so skip re-routing the data through the tree.
+                raw += self.learning_rate * new_values[leaves_in, 0]
+            else:
+                raw += self.learning_rate * tree.tree_.predict(X)[:, 0]
             self.estimators_.append(tree)
             self.train_loss_.append(loss.loss(y, raw))
         self.loss_ = loss

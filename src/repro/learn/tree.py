@@ -4,9 +4,21 @@ The regressor is the weak learner inside :mod:`repro.learn.gbm`; both trees
 use an array-based node layout with fully vectorized prediction (samples are
 routed level-by-level rather than one Python call per sample).
 
-Split search is exact: per node, each candidate feature is sorted once and
-prefix sums give the variance (or Gini) reduction of every cut in O(n) after
-the O(n log n) sort.
+Two split-search strategies are available via ``splitter``:
+
+- ``"exact"`` — per node, each candidate feature is sorted once and prefix
+  sums give the variance (or Gini) reduction of every cut in O(n) after the
+  O(n log n) sort.
+- ``"hist"`` — LightGBM-style histogram training: each feature is quantized
+  into ≤255 ``uint8`` bins once per fit (:class:`_Binner`), per-node
+  histograms of (count, Σy) are built with a single ``bincount`` over all
+  features at once, and every candidate cut of every feature is scored in
+  one vectorized pass over the (d, n_bins) histogram — no sorting inside
+  nodes. Child histograms use the subtraction trick (child = parent −
+  sibling), so only the smaller child is ever scanned.
+
+Thresholds found by the histogram splitter are real feature values (bin
+edges), so fitted trees predict on raw, un-binned inputs either way.
 """
 
 from __future__ import annotations
@@ -25,6 +37,82 @@ from repro.utils.validation import (
 )
 
 _LEAF = -1
+
+#: Hard ceiling on histogram bins so codes fit in uint8.
+_MAX_HIST_BINS = 256
+
+
+class _Binner:
+    """Quantile feature binner producing compact ``uint8`` codes.
+
+    Each feature is cut at at most ``max_bins - 1`` edges placed between
+    distinct observed values (all midpoints when the feature has few distinct
+    values, quantile midpoints otherwise). Bin ``b`` holds values in
+    ``(edges[b-1], edges[b]]``, so the candidate split "bin ≤ b" is exactly
+    the raw-space split "x ≤ edges[b]" — trees trained on codes remain valid
+    on raw features.
+    """
+
+    def __init__(self, max_bins: int = _MAX_HIST_BINS):
+        if not 2 <= max_bins <= _MAX_HIST_BINS:
+            raise ValueError(
+                f"max_bins must be in [2, {_MAX_HIST_BINS}]; got {max_bins}."
+            )
+        self.max_bins = max_bins
+
+    def fit(self, X: np.ndarray) -> "_Binner":
+        edges: List[np.ndarray] = []
+        for f in range(X.shape[1]):
+            uniq = np.unique(X[:, f])
+            if uniq.shape[0] <= 1:
+                cuts = np.empty(0, dtype=np.float64)
+            elif uniq.shape[0] <= self.max_bins:
+                cuts = (uniq[:-1] + uniq[1:]) / 2.0
+            else:
+                qs = np.quantile(
+                    X[:, f], np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+                )
+                # Duplicate quantiles collapse; keep midpoint semantics by
+                # nudging each cut between the distinct values around it.
+                cuts = np.unique(qs)
+            edges.append(cuts)
+        self.edges_ = edges
+        self.n_bins_ = np.array([e.shape[0] + 1 for e in edges], dtype=np.int64)
+        #: Width of the shared (d, n_total_bins_) histogram layout.
+        self.n_total_bins_ = int(self.n_bins_.max())
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map raw features to bin codes; values beyond the fitted range
+        land in the first/last bin."""
+        codes = np.empty(X.shape, dtype=np.uint8)
+        for f, cuts in enumerate(self.edges_):
+            codes[:, f] = np.searchsorted(cuts, X[:, f], side="left")
+        return codes
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def _node_histograms(
+    codes: np.ndarray,
+    y: np.ndarray,
+    idx: np.ndarray,
+    offsets: np.ndarray,
+    n_total: int,
+):
+    """(count, Σy) histograms of one node, shape (d, n_bins) each.
+
+    One flattened ``bincount`` covers every feature at once: code ``b`` of
+    feature ``f`` maps to slot ``f * n_bins + b``.
+    """
+    flat = (codes[idx].astype(np.intp) + offsets).ravel()
+    d = offsets.shape[1]
+    cnt = np.bincount(flat, minlength=d * n_total).reshape(d, n_total)
+    wsum = np.bincount(
+        flat, weights=np.repeat(y[idx], d), minlength=d * n_total
+    ).reshape(d, n_total)
+    return cnt, wsum
 
 
 @dataclass
@@ -211,12 +299,16 @@ class _BaseDecisionTree(BaseEstimator):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: Optional[float] = None,
+        splitter: str = "exact",
+        max_bins: int = _MAX_HIST_BINS,
         random_state=None,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.random_state = random_state
 
     # Subclass hooks -------------------------------------------------
@@ -226,8 +318,25 @@ class _BaseDecisionTree(BaseEstimator):
     def _impurity(self, y: np.ndarray) -> float:
         raise NotImplementedError
 
+    def _leaf_stats(self, y: np.ndarray):
+        """(leaf value array, impurity) in one pass — the builders' hot
+        path; subclasses override with raw reductions to avoid the
+        ``np.var``/``np.mean`` wrapper overhead on tiny node subsets."""
+        return self._leaf_value(y), self._impurity(y)
+
     def _split(self, Xf: np.ndarray, y: np.ndarray):
         raise NotImplementedError
+
+    def _hist_gain(
+        self, left_n: np.ndarray, left_sum: np.ndarray, n: int, total: float
+    ) -> np.ndarray:
+        """Gain of every candidate cut from cumulative (count, Σy) pairs."""
+        raise NotImplementedError
+
+    def _hist_targets(self, y: np.ndarray) -> np.ndarray:
+        """Targets the split-search histograms are built from (the leaf
+        values always come from the raw ``y``)."""
+        return y
 
     def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
         return y
@@ -249,7 +358,7 @@ class _BaseDecisionTree(BaseEstimator):
             return max(1, int(round(mf * d)))
         return max(1, min(int(mf), d))
 
-    def _fit_validated(self, X: np.ndarray, y: np.ndarray):
+    def _check_builder_params(self):
         rng = check_random_state(self.random_state)
         max_depth = np.inf if self.max_depth is None else int(self.max_depth)
         if max_depth < 1:
@@ -258,15 +367,29 @@ class _BaseDecisionTree(BaseEstimator):
             raise ValueError("min_samples_split must be >= 2.")
         if self.min_samples_leaf < 1:
             raise ValueError("min_samples_leaf must be >= 1.")
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(
+                f"splitter must be 'exact' or 'hist'; got {self.splitter!r}."
+            )
+        return rng, max_depth
+
+    def _fit_validated(self, X: np.ndarray, y: np.ndarray):
+        """Grow the tree on validated inputs, dispatching on ``splitter``."""
+        if self.splitter == "hist":
+            binner = _Binner(self.max_bins).fit(X)
+            return self._fit_binned(binner.transform(X), y, binner)
+        rng, max_depth = self._check_builder_params()
         d = X.shape[1]
         k = self._n_candidate_features(d)
         buffers = _TreeBuffers()
+        # Leaf id of every training sample, filled as nodes terminate, so
+        # ensembles don't re-route the training set after each stage.
+        train_leaves = np.zeros(X.shape[0], dtype=np.int64)
 
         # Iterative depth-first construction (explicit stack avoids Python
         # recursion limits on deep trees).
-        root_idx = buffers.add_node(
-            self._leaf_value(y), y.shape[0], self._impurity(y)
-        )
+        root_value, root_imp = self._leaf_stats(y)
+        root_idx = buffers.add_node(root_value, y.shape[0], root_imp)
         stack = [(root_idx, np.arange(X.shape[0]), 0)]
         while stack:
             node_id, idx, depth = stack.pop()
@@ -276,6 +399,7 @@ class _BaseDecisionTree(BaseEstimator):
                 or idx.shape[0] < self.min_samples_split
                 or buffers.impurity[node_id] <= 1e-12
             ):
+                train_leaves[idx] = node_id
                 continue
             if k < d:
                 feats = rng.choice(d, size=k, replace=False)
@@ -290,6 +414,7 @@ class _BaseDecisionTree(BaseEstimator):
                     best_gain, best_thr = res
                     best_feat = int(f)
             if best_feat < 0:
+                train_leaves[idx] = node_id
                 continue
             go_left = X[idx, best_feat] <= best_thr
             left_idx = idx[go_left]
@@ -298,16 +423,13 @@ class _BaseDecisionTree(BaseEstimator):
                 left_idx.shape[0] < self.min_samples_leaf
                 or right_idx.shape[0] < self.min_samples_leaf
             ):
+                train_leaves[idx] = node_id
                 continue
-            left_id = buffers.add_node(
-                self._leaf_value(y[left_idx]),
-                left_idx.shape[0],
-                self._impurity(y[left_idx]),
-            )
+            left_value, left_imp = self._leaf_stats(y[left_idx])
+            right_value, right_imp = self._leaf_stats(y[right_idx])
+            left_id = buffers.add_node(left_value, left_idx.shape[0], left_imp)
             right_id = buffers.add_node(
-                self._leaf_value(y[right_idx]),
-                right_idx.shape[0],
-                self._impurity(y[right_idx]),
+                right_value, right_idx.shape[0], right_imp
             )
             buffers.feature[node_id] = best_feat
             buffers.threshold[node_id] = best_thr
@@ -318,7 +440,118 @@ class _BaseDecisionTree(BaseEstimator):
 
         self.tree_ = buffers.finalize()
         self.n_features_in_ = d
+        self._train_leaves_ = train_leaves
         return self
+
+    def _fit_binned(self, codes: np.ndarray, y: np.ndarray, binner: _Binner):
+        """Grow the tree from pre-binned ``uint8`` codes (histogram splitter).
+
+        Ensembles call this directly so the binning cost is paid once per
+        ensemble fit rather than once per tree.
+        """
+        rng, max_depth = self._check_builder_params()
+        n, d = codes.shape
+        k = self._n_candidate_features(d)
+        n_total = binner.n_total_bins_
+        offsets = (np.arange(d, dtype=np.intp) * n_total)[None, :]
+        # cut_exists[f, b]: feature f really has an edge after bin b.
+        cut_exists = np.arange(n_total - 1)[None, :] < (binner.n_bins_[:, None] - 1)
+        buffers = _TreeBuffers()
+        train_leaves = np.zeros(n, dtype=np.int64)
+
+        root_value, root_imp = self._leaf_stats(y)
+        root_idx = buffers.add_node(root_value, n, root_imp)
+        # Split-search histograms use (for regression) mean-centered targets:
+        # the SSE-reduction gain is shift-invariant mathematically, and
+        # centered sums avoid catastrophic cancellation on large-offset y.
+        yh = self._hist_targets(y)
+        if n_total > 1:
+            root_hist = _node_histograms(codes, yh, np.arange(n), offsets, n_total)
+            stack = [(root_idx, np.arange(n), 0, root_hist)]
+        else:
+            # Every feature is constant: the root stays a leaf.
+            stack = []
+        # One errstate switch for the whole build (zero-count divisions are
+        # masked by the validity filter; per-node context managers cost more
+        # than the arithmetic at this node size).
+        saved_err = np.seterr(divide="ignore", invalid="ignore")
+        try:
+            self._grow_binned_nodes(
+                stack, codes, y, yh, binner, buffers, train_leaves,
+                cut_exists, offsets, n_total, max_depth, k, d, rng,
+            )
+        finally:
+            np.seterr(**saved_err)
+
+        self.tree_ = buffers.finalize()
+        self.n_features_in_ = d
+        self._train_leaves_ = train_leaves
+        return self
+
+    def _grow_binned_nodes(
+        self, stack, codes, y, yh, binner, buffers, train_leaves, cut_exists,
+        offsets, n_total, max_depth, k, d, rng,
+    ):
+        while stack:
+            node_id, idx, depth, (cnt, wsum) = stack.pop()
+            m = idx.shape[0]
+            if (
+                depth >= max_depth
+                or m < self.min_samples_split
+                or buffers.impurity[node_id] <= 1e-12
+            ):
+                train_leaves[idx] = node_id
+                continue
+            # Cumulative histograms score every cut of every feature at once.
+            left_n = np.cumsum(cnt, axis=1)[:, :-1]
+            left_sum = np.cumsum(wsum, axis=1)[:, :-1]
+            total = float(wsum[0].sum())
+            gain = self._hist_gain(left_n, left_sum, m, total)
+            valid = (
+                cut_exists
+                & (left_n >= self.min_samples_leaf)
+                & (m - left_n >= self.min_samples_leaf)
+            )
+            if k < d:
+                chosen = np.zeros(d, dtype=bool)
+                chosen[rng.choice(d, size=k, replace=False)] = True
+                valid = valid & chosen[:, None]
+            gain[~valid] = -np.inf
+            flat_best = int(np.argmax(gain))
+            best_feat, best_bin = divmod(flat_best, n_total - 1)
+            best_gain = gain[best_feat, best_bin]
+            if not np.isfinite(best_gain) or best_gain <= 1e-12:
+                train_leaves[idx] = node_id
+                continue
+            thr = float(binner.edges_[best_feat][best_bin])
+            go_left = codes[idx, best_feat] <= best_bin
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            left_value, left_imp = self._leaf_stats(y[left_idx])
+            right_value, right_imp = self._leaf_stats(y[right_idx])
+            left_id = buffers.add_node(left_value, left_idx.shape[0], left_imp)
+            right_id = buffers.add_node(
+                right_value, right_idx.shape[0], right_imp
+            )
+            buffers.feature[node_id] = int(best_feat)
+            buffers.threshold[node_id] = thr
+            buffers.left[node_id] = left_id
+            buffers.right[node_id] = right_id
+            # Subtraction trick: scan only the smaller child, derive the
+            # larger one's histograms from the parent's.
+            if left_idx.shape[0] <= right_idx.shape[0]:
+                small_idx, small_id, big_idx, big_id = (
+                    left_idx, left_id, right_idx, right_id,
+                )
+            else:
+                small_idx, small_id, big_idx, big_id = (
+                    right_idx, right_id, left_idx, left_id,
+                )
+            cnt_s, wsum_s = _node_histograms(codes, yh, small_idx, offsets, n_total)
+            stack.append((small_id, small_idx, depth + 1, (cnt_s, wsum_s)))
+            stack.append(
+                (big_id, big_idx, depth + 1, (cnt - cnt_s, wsum - wsum_s))
+            )
 
     def _check_predict_input(self, X) -> np.ndarray:
         check_is_fitted(self, ["tree_"])
@@ -353,8 +586,34 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
     def _impurity(self, y: np.ndarray) -> float:
         return float(np.var(y) * y.shape[0])
 
+    def _leaf_stats(self, y: np.ndarray):
+        s = float(np.add.reduce(y))
+        mean = s / y.shape[0]
+        # Centered two-pass n·var: the one-pass Σy² − (Σy)²/n form suffers
+        # catastrophic cancellation on large-offset targets.
+        d = y - mean
+        imp = float(d @ d)
+        return np.array([mean]), imp
+
     def _split(self, Xf, y):
         return _best_split_mse(Xf, y, self.min_samples_leaf)
+
+    def _hist_targets(self, y):
+        # Mean-center so squared-sum gains stay well-conditioned when the
+        # target has a large offset (latencies, raw measurements).
+        return y - np.add.reduce(y) / y.shape[0]
+
+    def _hist_gain(self, left_n, left_sum, n, total):
+        # SSE reduction: the Σy² terms cancel, leaving only squared sums.
+        # Division by zero-count cuts is masked by the caller's validity
+        # filter (the builder runs under errstate suppression).
+        right_n = n - left_n
+        right_sum = total - left_sum
+        return (
+            left_sum * left_sum / left_n
+            + right_sum * right_sum / right_n
+            - total * total / n
+        )
 
     def predict(self, X) -> np.ndarray:
         X = self._check_predict_input(X)
@@ -381,8 +640,25 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
         p = y.mean()
         return float(2.0 * p * (1.0 - p) * y.shape[0])
 
+    def _leaf_stats(self, y: np.ndarray):
+        n = y.shape[0]
+        s = float(np.add.reduce(y))
+        p = s / n
+        return np.array([p]), float(2.0 * p * (1.0 - p) * n)
+
     def _split(self, Xf, y):
         return _best_split_gini(Xf, y, self.min_samples_leaf)
+
+    def _hist_gain(self, left_n, left_sum, n, total):
+        # left_sum counts positives; n·gini = 2·pos·neg / n per side.
+        # Zero-count divisions are masked by the caller's validity filter.
+        right_n = n - left_n
+        right_pos = total - left_sum
+        g_left = 2.0 * left_sum * (left_n - left_sum) / left_n
+        g_right = 2.0 * right_pos * (right_n - right_pos) / right_n
+        g_parent = 2.0 * total * (n - total) / n
+        # Same per-sample scale as the exact splitter's gain.
+        return (g_parent - g_left - g_right) / n
 
     def predict_proba(self, X) -> np.ndarray:
         X = self._check_predict_input(X)

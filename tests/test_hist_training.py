@@ -1,0 +1,302 @@
+"""Histogram-binned training, warm-start refits, and the parallel harness.
+
+Covers the performance machinery added around the GBM stack:
+
+- the feature binner and histogram split search (``splitter="hist"``) agree
+  with the exact splitter — identically on low-cardinality data, within
+  tolerance on the benchmark trace families;
+- ``warm_start`` continuation is exactly equivalent to one big fit;
+- NURD's warm-started checkpoint refits keep its Table-3 metrics close to
+  the full-refit baseline on both trace families;
+- ``evaluate_method(..., n_workers>1)`` is bit-identical to the serial path;
+- ``MethodResult`` caches its per-attribute means without going stale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.censored import GrabitRegressor
+from repro.core.nurd import NurdPredictor
+from repro.eval import EvaluationConfig, evaluate_method
+from repro.learn import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.learn.gbm import GradientBoostingRegressor
+from repro.learn.tree import _Binner
+from repro.sim.replay import ReplaySimulator
+
+
+class TestBinner:
+    def test_codes_roundtrip_split_semantics(self, rng):
+        X = rng.normal(size=(300, 4))
+        binner = _Binner(max_bins=64).fit(X)
+        codes = binner.transform(X)
+        # "bin <= b" must equal "x <= edges[b]" for every feature and cut.
+        for f in range(4):
+            for b in range(binner.n_bins_[f] - 1):
+                thr = binner.edges_[f][b]
+                np.testing.assert_array_equal(
+                    codes[:, f] <= b, X[:, f] <= thr
+                )
+
+    def test_low_cardinality_is_lossless(self, rng):
+        X = rng.integers(0, 20, size=(200, 3)).astype(float)
+        binner = _Binner().fit(X)
+        codes = binner.transform(X)
+        for f in range(3):
+            # Distinct raw values stay distinct in bin space.
+            assert np.unique(codes[:, f]).shape[0] == np.unique(X[:, f]).shape[0]
+
+    def test_bin_count_capped(self, rng):
+        X = rng.normal(size=(5000, 2))
+        binner = _Binner(max_bins=256).fit(X)
+        assert binner.n_total_bins_ <= 256
+        assert binner.transform(X).dtype == np.uint8
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError, match="max_bins"):
+            _Binner(max_bins=1000)
+
+
+class TestHistSplitter:
+    def test_identical_to_exact_on_low_cardinality(self, rng):
+        X = rng.integers(0, 10, size=(250, 4)).astype(float)
+        y = 2.0 * X[:, 0] - X[:, 2] + 0.05 * rng.normal(size=250)
+        exact = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=4, splitter="hist").fit(X, y)
+        np.testing.assert_allclose(exact.predict(X), hist.predict(X))
+
+    def test_regressor_quality_close(self, regression_data):
+        X, y = regression_data
+        exact = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=6, splitter="hist").fit(X, y)
+        assert abs(exact.score(X, y) - hist.score(X, y)) < 0.02
+
+    def test_classifier_quality_close(self, classification_data):
+        X, y = classification_data
+        exact = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        hist = DecisionTreeClassifier(max_depth=5, splitter="hist").fit(X, y)
+        assert abs(exact.score(X, y) - hist.score(X, y)) < 0.03
+
+    def test_constant_features_single_leaf(self):
+        m = DecisionTreeRegressor(splitter="hist").fit(
+            np.ones((40, 3)), np.arange(40.0)
+        )
+        assert m.n_leaves_ == 1
+
+    def test_min_samples_leaf_respected(self, regression_data):
+        X, y = regression_data
+        m = DecisionTreeRegressor(splitter="hist", min_samples_leaf=30).fit(X, y)
+        _, counts = np.unique(m.apply(X), return_counts=True)
+        assert counts.min() >= 30
+
+    def test_unknown_splitter_raises(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="splitter"):
+            DecisionTreeRegressor(splitter="bogus").fit(X, y)
+        with pytest.raises(ValueError, match="splitter"):
+            GradientBoostingRegressor(splitter="bogus").fit(X, y)
+
+
+class TestGbmHist:
+    def test_gbm_hist_close_to_exact(self, regression_data):
+        X, y = regression_data
+        exact = GradientBoostingRegressor(
+            n_estimators=40, splitter="exact", random_state=0
+        ).fit(X, y)
+        hist = GradientBoostingRegressor(
+            n_estimators=40, splitter="hist", random_state=0
+        ).fit(X, y)
+        assert abs(exact.score(X, y) - hist.score(X, y)) < 0.02
+
+    def test_grabit_hist_close_to_exact(self, rng):
+        X = rng.normal(size=(150, 5))
+        y = np.abs(3.0 + X[:, 0] + 0.5 * rng.normal(size=150))
+        censored = rng.random(150) < 0.3
+        exact = GrabitRegressor(
+            n_estimators=30, splitter="exact", random_state=0
+        ).fit(X, y, censored)
+        hist = GrabitRegressor(
+            n_estimators=30, splitter="hist", random_state=0
+        ).fit(X, y, censored)
+        p_e, p_h = exact.predict(X), hist.predict(X)
+        assert np.corrcoef(p_e, p_h)[0, 1] > 0.99
+
+
+class TestWarmStart:
+    def test_two_stage_fit_equals_one_big_fit(self, regression_data):
+        X, y = regression_data
+        one = GradientBoostingRegressor(n_estimators=50, random_state=0).fit(X, y)
+        two = GradientBoostingRegressor(
+            n_estimators=25, random_state=0, warm_start=True
+        ).fit(X, y)
+        two.set_params(n_estimators=50)
+        two.fit(X, y)
+        assert len(two.estimators_) == 50
+        np.testing.assert_allclose(one.predict(X), two.predict(X))
+
+    def test_warm_start_on_grown_data(self, regression_data):
+        X, y = regression_data
+        m = GradientBoostingRegressor(
+            n_estimators=20, random_state=0, warm_start=True
+        ).fit(X[:200], y[:200])
+        m.set_params(n_estimators=35)
+        m.fit(X, y)
+        assert len(m.estimators_) == 35
+        assert m.score(X, y) > 0.8
+
+    def test_shrinking_n_estimators_raises(self, regression_data):
+        X, y = regression_data
+        m = GradientBoostingRegressor(
+            n_estimators=20, random_state=0, warm_start=True
+        ).fit(X, y)
+        m.set_params(n_estimators=10)
+        with pytest.raises(ValueError, match="warm_start"):
+            m.fit(X, y)
+
+    def test_warm_start_feature_mismatch_raises(self, regression_data):
+        X, y = regression_data
+        m = GradientBoostingRegressor(
+            n_estimators=10, random_state=0, warm_start=True
+        ).fit(X, y)
+        m.set_params(n_estimators=20)
+        with pytest.raises(ValueError, match="features"):
+            m.fit(X[:, :3], y)
+
+    def test_without_warm_start_refit_restarts(self, regression_data):
+        X, y = regression_data
+        m = GradientBoostingRegressor(n_estimators=15, random_state=0).fit(X, y)
+        m.fit(X, y)
+        assert len(m.estimators_) == 15
+
+
+class TestNurdWarmStart:
+    def _replay_f1(self, job, **nurd_kwargs):
+        sim = ReplaySimulator(n_checkpoints=6, random_state=0)
+        pred = NurdPredictor(random_state=0, **nurd_kwargs)
+        return sim.run(job, pred)
+
+    @pytest.mark.parametrize("family", ["google", "alibaba"])
+    def test_hist_warm_metrics_close_to_exact_full_refit(
+        self, family, google_trace, alibaba_trace
+    ):
+        trace = {"google": google_trace, "alibaba": alibaba_trace}[family]
+        for job in trace:
+            base = self._replay_f1(job, splitter="exact", warm_start=False)
+            fast = self._replay_f1(job, splitter="hist", warm_start=True)
+            assert abs(base.f1 - fast.f1) < 0.2, (
+                f"{family}/{job.job_id}: F1 {base.f1:.3f} vs {fast.f1:.3f}"
+            )
+
+    def test_warm_update_extends_ensemble(self, google_job):
+        pred = NurdPredictor(random_state=0, warm_start=True, warm_refresh=10.0)
+        X, y = google_job.features, google_job.latencies
+        tau = google_job.straggler_threshold()
+        pred.begin_job(X[:20], y[:20], X[20:40], tau)
+        pred.update(X[:50], y[:50], X[50:80])
+        n0 = len(pred.h_.estimators_)
+        pred.update(X[:60], y[:60], X[60:90])
+        assert len(pred.h_.estimators_) == n0 + pred.warm_increment
+
+    def test_warm_growth_capped_at_4x_base(self, google_job):
+        pred = NurdPredictor(
+            random_state=0, warm_start=True, warm_refresh=1e9,
+            warm_increment=60,
+        )
+        X, y = google_job.features, google_job.latencies
+        tau = google_job.straggler_threshold()
+        pred.begin_job(X[:20], y[:20], X[20:40], tau)
+        for _ in range(10):
+            pred.update(X[:50], y[:50], X[50:80])
+        # 60 base + warm extensions never exceed 4x the base capacity.
+        assert len(pred.h_.estimators_) <= 4 * 60
+
+    def test_hist_stable_on_large_offset_targets(self, rng):
+        # Targets with a huge mean offset: the one-pass sum-of-squares
+        # formulas would cancel catastrophically and stop splitting.
+        X = rng.normal(size=(400, 4))
+        y = 1e8 + 2.0 * X[:, 0] + 0.1 * rng.normal(size=400)
+        for splitter in ("exact", "hist"):
+            m = DecisionTreeRegressor(max_depth=4, splitter=splitter).fit(X, y)
+            assert m.n_leaves_ > 4, splitter
+            assert m.score(X, y) > 0.8, splitter
+
+    def test_geometric_refresh_forces_full_refit(self, google_job):
+        pred = NurdPredictor(random_state=0, warm_start=True, warm_refresh=1.5)
+        X, y = google_job.features, google_job.latencies
+        tau = google_job.straggler_threshold()
+        pred.begin_job(X[:10], y[:10], X[10:30], tau)
+        pred.update(X[:20], y[:20], X[20:40])
+        n0 = len(pred.h_.estimators_)
+        # Finished set doubles: refresh must refit from scratch, not extend.
+        pred.update(X[:60], y[:60], X[60:90])
+        assert len(pred.h_.estimators_) == n0
+
+    def test_predict_stragglers_validates_input(self, google_job):
+        pred = NurdPredictor(random_state=0)
+        X, y = google_job.features, google_job.latencies
+        tau = google_job.straggler_threshold()
+        pred.begin_job(X[:20], y[:20], X[20:40], tau)
+        pred.update(X[:40], y[:40], X[40:70])
+        bad = X[40:70].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            pred.predict_stragglers(bad)
+
+
+class TestParallelHarness:
+    def test_parallel_matches_serial(self, google_trace):
+        cfg = EvaluationConfig(n_checkpoints=4, random_state=0)
+        serial = evaluate_method(google_trace, "GBTR", cfg)
+        parallel = evaluate_method(google_trace, "GBTR", cfg, n_workers=2)
+        assert len(serial.replays) == len(parallel.replays)
+        for rs, rp in zip(serial.replays, parallel.replays):
+            assert rs.job_id == rp.job_id
+            np.testing.assert_array_equal(rs.y_flag, rp.y_flag)
+            np.testing.assert_array_equal(rs.flag_times, rp.flag_times)
+
+    def test_mean_cache_returns_same_value(self, google_trace):
+        cfg = EvaluationConfig(n_checkpoints=3, random_state=0)
+        res = evaluate_method(google_trace, "GBTR", cfg)
+        first = res.f1
+        assert "f1" in res._mean_cache
+        assert res.f1 == first
+
+    def test_mean_cache_invalidates_on_replacement(self, google_trace):
+        cfg = EvaluationConfig(n_checkpoints=3, random_state=0)
+        res = evaluate_method(google_trace, "NURD", cfg)
+        before = res.tpr
+        perfect = res.replays[0]
+        res.replays[0] = type(perfect)(
+            job_id="swapped",
+            tau_stra=perfect.tau_stra,
+            y_true=np.array([True]),
+            y_flag=np.array([True]),
+            flag_times=np.array([1.0]),
+            checkpoints=perfect.checkpoints,
+            latencies=np.array([5.0]),
+        )
+        # Same length, different replay object: the cache must notice.
+        expected = float(
+            np.mean([getattr(r, "tpr") for r in res.replays])
+        )
+        assert res.tpr == pytest.approx(expected)
+        assert res.replays[0].tpr == 1.0 or before == expected
+
+    def test_mean_cache_invalidates_on_append(self, google_trace):
+        cfg = EvaluationConfig(n_checkpoints=3, random_state=0)
+        res = evaluate_method(google_trace, "NURD", cfg)
+        tpr_before = res.tpr
+        # Appending a degenerate all-correct replay must change the mean.
+        perfect = res.replays[0]
+        res.replays.append(
+            type(perfect)(
+                job_id="synthetic",
+                tau_stra=perfect.tau_stra,
+                y_true=np.array([True, False]),
+                y_flag=np.array([True, False]),
+                flag_times=np.array([1.0, np.inf]),
+                checkpoints=perfect.checkpoints,
+                latencies=np.array([5.0, 1.0]),
+            )
+        )
+        assert res.tpr != pytest.approx(tpr_before) or res.tpr == 1.0
+        assert res.tpr == res._mean_cache["tpr"][1]
