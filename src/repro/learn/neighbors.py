@@ -1,11 +1,23 @@
 """Nearest-neighbor queries on top of ``scipy.spatial.cKDTree``.
 
-Shared by the KNN, LOF, COF, SOD and ABOD outlier detectors.
+Shared by the KNN, LOF, COF, SOD, ABOD and LSCP outlier detectors.
+
+Besides the :class:`NearestNeighbors` estimator this module hosts a small
+process-local :class:`NeighborCache`. Every unsupervised detector refit on a
+replay checkpoint queries the *same* feature matrix — often several times
+(once while fitting, once while scoring the training data, and LSCP's LOF
+pool repeats the whole exercise per pool member). The cache keys tree builds
+and raw kNN query results on array identity so that all of those consumers
+share one KD-tree and one sorted neighbor list per matrix; narrower queries
+slice the widest cached result instead of hitting the tree again.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -14,12 +26,148 @@ from repro.learn.base import BaseEstimator
 from repro.utils.validation import check_array, check_is_fitted
 
 
+class NeighborCache:
+    """Identity-keyed cache of KD-trees and raw kNN query results.
+
+    Entries are keyed on ``id()`` of the participating arrays and guarded by
+    weak references: a hit requires the cached reference to still point at
+    the *same live object*, so recycled ids or garbage-collected matrices can
+    never alias. Query results are cached at the widest ``k`` requested so
+    far for a (train, query) pair; narrower requests return slices (neighbor
+    lists are sorted by distance, so a prefix of a wider query *is* the
+    narrower query) — **unless** an exact distance tie straddles the cut, in
+    which case the tied membership of a direct ``k`` query is not determined
+    by the wider result and the cache falls back to querying the tree, so a
+    served result is always bit-identical to what an uncached
+    ``tree.query(X, k)`` returns regardless of cache state.
+
+    Returned arrays are read-only views of cache storage; callers that want
+    to modify them must copy (in-place writes would otherwise corrupt every
+    later hit).
+
+    The cache is process-local (each ``evaluate_all`` worker owns one) and
+    LRU-bounded, so memory stays proportional to a handful of
+    checkpoint-sized matrices.
+    """
+
+    def __init__(self, max_trees: int = 8, max_queries: int = 32):
+        self.max_trees = max_trees
+        self.max_queries = max_queries
+        self._trees: OrderedDict = OrderedDict()
+        self._queries: OrderedDict = OrderedDict()
+        self.tree_hits = 0
+        self.tree_misses = 0
+        self.query_hits = 0
+        self.query_misses = 0
+
+    # -- trees ----------------------------------------------------------
+    def tree(self, X: np.ndarray) -> cKDTree:
+        """Return a (possibly shared) cKDTree over ``X``."""
+        key = id(X)
+        entry = self._trees.get(key)
+        if entry is not None and entry[0]() is X:
+            self.tree_hits += 1
+            self._trees.move_to_end(key)
+            return entry[1]
+        self.tree_misses += 1
+        tree = cKDTree(X)
+        self._trees[key] = (weakref.ref(X), tree)
+        self._trees.move_to_end(key)
+        while len(self._trees) > self.max_trees:
+            self._trees.popitem(last=False)
+        return tree
+
+    # -- raw queries ----------------------------------------------------
+    def query(
+        self, tree: cKDTree, fit_X: np.ndarray, X: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw ``tree.query`` with caching; returns ``(dist, idx)``, (n, k)."""
+        key = (id(fit_X), id(X))
+        entry = self._queries.get(key)
+        if (
+            entry is not None
+            and entry[0]() is fit_X
+            and entry[1]() is X
+            and entry[2] >= k
+        ):
+            dist, idx = entry[3], entry[4]
+            # A slice of a wider query equals a direct k query only when the
+            # k-th and (k+1)-th distances differ in every row; with exact
+            # ties (duplicated points) the tree may pick a different tied
+            # subset at each width, so fall through to a direct query then.
+            if entry[2] == k or not np.any(dist[:, k - 1] == dist[:, k]):
+                self.query_hits += 1
+                self._queries.move_to_end(key)
+                return dist[:, :k], idx[:, :k]
+        self.query_misses += 1
+        dist, idx = _raw_tree_query(tree, X, k)
+        dist.setflags(write=False)
+        idx.setflags(write=False)
+        if entry is None or entry[0]() is not fit_X or entry[1]() is not X or k > entry[2]:
+            self._queries[key] = (
+                weakref.ref(fit_X), weakref.ref(X), k, dist, idx
+            )
+            self._queries.move_to_end(key)
+            while len(self._queries) > self.max_queries:
+                self._queries.popitem(last=False)
+        return dist, idx
+
+    def clear(self) -> None:
+        self._trees.clear()
+        self._queries.clear()
+
+
+def _raw_tree_query(
+    tree: cKDTree, X: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    dist, idx = tree.query(X, k=k, workers=-1)
+    if k == 1:
+        dist = dist[:, None]
+        idx = idx[:, None]
+    return dist, idx
+
+
+#: Process-global default cache; ``None`` disables caching entirely.
+_neighbor_cache: Optional[NeighborCache] = NeighborCache()
+
+
+def get_neighbor_cache() -> Optional[NeighborCache]:
+    """The active shared cache, or ``None`` when caching is disabled."""
+    return _neighbor_cache
+
+
+def set_neighbor_cache(cache: Optional[NeighborCache]) -> Optional[NeighborCache]:
+    """Install ``cache`` (or ``None`` to disable); returns the previous one."""
+    global _neighbor_cache
+    previous = _neighbor_cache
+    _neighbor_cache = cache
+    return previous
+
+
+def clear_neighbor_cache() -> None:
+    """Drop all cached trees and query results (no-op when disabled)."""
+    if _neighbor_cache is not None:
+        _neighbor_cache.clear()
+
+
+@contextmanager
+def neighbor_cache_disabled():
+    """Context manager that turns the shared cache off (benchmark baseline)."""
+    previous = set_neighbor_cache(None)
+    try:
+        yield
+    finally:
+        set_neighbor_cache(previous)
+
+
 class NearestNeighbors(BaseEstimator):
     """k-nearest-neighbor index.
 
     ``kneighbors`` can exclude each query point itself when querying the
     training set (``exclude_self=True``), which every *unsupervised* outlier
-    detector needs when scoring its own training data.
+    detector needs when scoring its own training data. ``exclude_self``
+    presumes the query rows are row-aligned with the training matrix (the
+    caller should establish that via :meth:`is_self_query`).
     """
 
     def __init__(self, n_neighbors: int = 5):
@@ -30,9 +178,46 @@ class NearestNeighbors(BaseEstimator):
             raise ValueError("n_neighbors must be >= 1.")
         X = check_array(X)
         self._fit_X_ = X
-        self.tree_ = cKDTree(X)
+        cache = get_neighbor_cache()
+        self.tree_ = cache.tree(X) if cache is not None else cKDTree(X)
         self.n_features_in_ = X.shape[1]
         return self
+
+    def is_self_query(self, X) -> bool:
+        """True when ``X`` is the training matrix (identity or equal values).
+
+        The single source of truth for the ``exclude_self`` decision every
+        kNN-family detector makes when scoring; identity is the fast path
+        (``BaseDetector.fit`` passes the same validated array to ``_fit``
+        and ``_score``), value equality covers callers that re-validate.
+        """
+        check_is_fitted(self, ["tree_"])
+        fit_X = self._fit_X_
+        if X is fit_X:
+            return True
+        X = np.asarray(X)
+        return X.shape == fit_X.shape and np.array_equal(X, fit_X)
+
+    def warm(self, X=None, n_neighbors: Optional[int] = None) -> None:
+        """Prime the shared cache with a raw query at the given width.
+
+        Lets a caller that will issue several narrower queries against the
+        same (train, query) pair — e.g. LSCP's LOF pool — pay for one wide
+        tree query and have every subsequent request slice it. No-op when
+        the cache is disabled.
+        """
+        check_is_fitted(self, ["tree_"])
+        if get_neighbor_cache() is None:
+            return
+        X = self._fit_X_ if X is None else check_array(X)
+        k = self.n_neighbors if n_neighbors is None else int(n_neighbors)
+        self._raw_query(X, min(k, self._fit_X_.shape[0]))
+
+    def _raw_query(self, X: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        cache = get_neighbor_cache()
+        if cache is None:
+            return _raw_tree_query(self.tree_, X, k)
+        return cache.query(self.tree_, self._fit_X_, X, k)
 
     def kneighbors(
         self, X=None, n_neighbors: int = None, exclude_self: bool = False
@@ -56,17 +241,39 @@ class NearestNeighbors(BaseEstimator):
                 )
         n_train = self._fit_X_.shape[0]
         k_query = min(k + (1 if exclude_self else 0), n_train)
-        dist, idx = self.tree_.query(X, k=k_query)
-        if k_query == 1:
-            dist = dist[:, None]
-            idx = idx[:, None]
+        dist, idx = self._raw_query(X, k_query)
+        dist = dist[:, :k_query]
+        idx = idx[:, :k_query]
         if exclude_self:
-            # Drop the first column when it is the query point itself
-            # (distance zero to its own index); otherwise drop the last to
-            # keep k columns.
-            dist = dist[:, 1 : k + 1]
-            idx = idx[:, 1 : k + 1]
+            dist, idx = _drop_self_column(dist, idx, k)
         else:
             dist = dist[:, :k]
             idx = idx[:, :k]
         return dist, idx
+
+
+def _drop_self_column(
+    dist: np.ndarray, idx: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove each query row's own training index from its neighbor list.
+
+    The query point sits at distance zero, but with duplicated training
+    points the tie ordering may place a *duplicate* first — dropping column
+    0 unconditionally would discard a legitimate zero-distance neighbor and
+    keep the query point itself. Instead, drop the column whose index equals
+    the row's own index wherever it appears; rows whose own index was pushed
+    out of the widened query (more duplicates than columns) drop the
+    farthest column so every row keeps its k nearest non-self candidates.
+    """
+    n, kq = idx.shape
+    if kq <= 1:
+        return dist[:, :0], idx[:, :0]
+    rows = np.arange(n)
+    self_pos = idx == rows[:, None]
+    has_self = self_pos.any(axis=1)
+    drop_col = np.where(has_self, self_pos.argmax(axis=1), kq - 1)
+    keep = np.ones((n, kq), dtype=bool)
+    keep[rows, drop_col] = False
+    dist = dist[keep].reshape(n, kq - 1)[:, :k]
+    idx = idx[keep].reshape(n, kq - 1)[:, :k]
+    return dist, idx

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from repro.learn.base import BaseEstimator
+from repro.learn.neighbors import NearestNeighbors
 from repro.utils.validation import check_array, check_is_fitted
+
+
+def iter_row_blocks(n: int, per_row_cost: int, budget: int = 2_000_000):
+    """Yield ``(start, end)`` row slices so each block's batched temporaries
+    stay within ``budget`` elements.
+
+    Shared by the batched detector kernels (ABOD, COF, SOD) whose
+    intermediate tensors cost ``per_row_cost`` elements per scored row.
+    """
+    step = max(1, budget // max(1, per_row_cost))
+    for start in range(0, n, step):
+        yield start, min(start + step, n)
 
 
 class BaseDetector(BaseEstimator):
@@ -33,6 +48,23 @@ class BaseDetector(BaseEstimator):
 
     def _score(self, X: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    # Shared helpers ----------------------------------------------------
+    @staticmethod
+    def _kneighbors(
+        nn: NearestNeighbors, X: np.ndarray, n_neighbors: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Query ``nn`` for ``X``'s neighbors, excluding self-matches when
+        ``X`` is the training matrix.
+
+        The single entry point for every kNN-family detector's scoring
+        query; it centralizes the ``exclude_self`` decision (previously
+        re-derived, inconsistently, in each detector) via
+        :meth:`NearestNeighbors.is_self_query`.
+        """
+        return nn.kneighbors(
+            X, n_neighbors=n_neighbors, exclude_self=nn.is_self_query(X)
+        )
 
     # Public API --------------------------------------------------------
     def fit(self, X, y=None) -> "BaseDetector":

@@ -43,10 +43,7 @@ class KNNDetector(BaseDetector):
         self.nn_ = NearestNeighbors(n_neighbors=k).fit(X)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        exclude_self = X.shape == self.nn_._fit_X_.shape and np.array_equal(
-            X, self.nn_._fit_X_
-        )
-        dist, _ = self.nn_.kneighbors(X, exclude_self=exclude_self)
+        dist, _ = self._kneighbors(self.nn_, X)
         if self.method == "largest":
             return dist[:, -1]
         if self.method == "mean":

@@ -44,10 +44,7 @@ class LOF(BaseDetector):
         return 1.0 / np.maximum(mean_reach, 1e-12)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        exclude_self = X.shape == self.nn_._fit_X_.shape and np.array_equal(
-            X, self.nn_._fit_X_
-        )
-        dist, idx = self.nn_.kneighbors(X, exclude_self=exclude_self)
+        dist, idx = self._kneighbors(self.nn_, X)
         lrd = self._lrd(dist, idx)
         neighbor_lrd = self._lrd_train_[idx]
         return neighbor_lrd.mean(axis=1) / np.maximum(lrd, 1e-12)

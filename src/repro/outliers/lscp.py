@@ -7,6 +7,12 @@ defines a local region via kNN in the training set, builds a
 pseudo-ground-truth there (the detectors' maximum score per point), and
 selects the detector whose local scores correlate best with it; that
 detector scores the test point (LSCP_A variant averages the top detectors).
+
+The local-competence Pearson correlations are vectorized: the per-point
+region scores are gathered into an ``(n, region, n_detectors)`` tensor and
+all correlations fall out of a single ``einsum``. The LOF pool shares one
+KD-tree over the training matrix, primed once at the widest neighborhood so
+each pool member slices the same cached query.
 """
 
 from __future__ import annotations
@@ -57,6 +63,13 @@ class LSCP(BaseDetector):
         sizes = sorted({s for s in sizes if s >= 1})
         if not sizes:
             raise ValueError("LSCP needs at least 2 samples.")
+        region = min(self.local_region_size, X.shape[0] - 1)
+        self._kmax_ = max(sizes[-1], max(region, 1))
+        # One KD-tree serves the whole pool: the region index is built first
+        # and primed at the widest neighborhood (+1 for the self column), so
+        # every LOF's narrower fit/score query slices the same cached result.
+        self.region_nn_ = NearestNeighbors(n_neighbors=max(region, 1)).fit(X)
+        self.region_nn_.warm(n_neighbors=self._kmax_ + 1)
         self.detectors_ = [
             LOF(n_neighbors=s, contamination=self.contamination).fit(X)
             for s in sizes
@@ -68,32 +81,27 @@ class LSCP(BaseDetector):
         self._train_scores_z_ = _zscore(train_scores)
         # Pseudo ground truth: max standardized score across the pool.
         self._pseudo_ = self._train_scores_z_.max(axis=1)
-        region = min(self.local_region_size, X.shape[0] - 1)
-        self.region_nn_ = NearestNeighbors(n_neighbors=max(region, 1)).fit(X)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        exclude_self = X.shape == self.region_nn_._fit_X_.shape and np.array_equal(
-            X, self.region_nn_._fit_X_
-        )
+        exclude_self = self.region_nn_.is_self_query(X)
+        self.region_nn_.warm(X, n_neighbors=self._kmax_ + 1)
         test_scores = np.column_stack(
             [d.decision_function(X) for d in self.detectors_]
         )
         test_scores_z = _zscore(test_scores)
         _, region_idx = self.region_nn_.kneighbors(X, exclude_self=exclude_self)
-        n_det = len(self.detectors_)
-        top_k = min(self.top_k, n_det)
-        out = np.empty(X.shape[0])
-        for i in range(X.shape[0]):
-            local = region_idx[i]
-            pseudo = self._pseudo_[local]
-            pseudo_c = pseudo - pseudo.mean()
-            denom_p = np.sqrt(np.sum(pseudo_c**2))
-            corrs = np.zeros(n_det)
-            for j in range(n_det):
-                s = self._train_scores_z_[local, j]
-                s_c = s - s.mean()
-                denom = denom_p * np.sqrt(np.sum(s_c**2))
-                corrs[j] = np.sum(pseudo_c * s_c) / denom if denom > 0 else 0.0
-            best = np.argsort(corrs)[::-1][:top_k]
-            out[i] = test_scores_z[i, best].mean()
-        return out
+        top_k = min(self.top_k, len(self.detectors_))
+        # Pearson correlation of every detector's region scores against the
+        # pseudo ground truth, for all test points at once.
+        pseudo = self._pseudo_[region_idx]                     # (n, r)
+        pseudo_c = pseudo - pseudo.mean(axis=1, keepdims=True)
+        denom_p = np.sqrt(np.einsum("nr,nr->n", pseudo_c, pseudo_c))
+        local = self._train_scores_z_[region_idx]              # (n, r, d)
+        local_c = local - local.mean(axis=1, keepdims=True)
+        num = np.einsum("nr,nrd->nd", pseudo_c, local_c)
+        denom = denom_p[:, None] * np.sqrt(
+            np.einsum("nrd,nrd->nd", local_c, local_c)
+        )
+        corrs = np.where(denom > 0, num / np.where(denom > 0, denom, 1.0), 0.0)
+        best = np.argsort(corrs, axis=1)[:, ::-1][:, :top_k]
+        return np.take_along_axis(test_scores_z, best, axis=1).mean(axis=1)

@@ -4,6 +4,11 @@ For each point, build a reference set from shared-nearest-neighbor
 similarity, find the axis-parallel subspace in which the reference set
 has low variance, and score the point by its normalized distance to the
 reference mean within that subspace.
+
+The SNN similarities and subspace variances are computed for all points at
+once: a boolean membership matrix turns the pairwise kNN-list intersections
+into one gather-and-sum, and the reference-set statistics reduce over a
+``(n, l, d)`` tensor.
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.learn.neighbors import NearestNeighbors
-from repro.outliers.base import BaseDetector
+from repro.outliers.base import BaseDetector, iter_row_blocks
 
 
 class SOD(BaseDetector):
@@ -53,37 +58,36 @@ class SOD(BaseDetector):
         self.nn_ = NearestNeighbors(n_neighbors=k).fit(X)
         _, self._train_knn_ = self.nn_.kneighbors()
 
-    def _reference_set(self, idx_query: np.ndarray) -> np.ndarray:
-        """Pick the l training points sharing the most neighbors."""
-        # SNN similarity between the query's kNN list and each candidate's.
-        candidates = np.unique(idx_query)
-        sims = np.array(
-            [
-                np.intersect1d(
-                    idx_query, self._train_knn_[c], assume_unique=False
-                ).shape[0]
-                for c in candidates
-            ]
+    def _batched_sod(self, X: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Subspace outlier degrees for rows of ``X`` with kNN lists ``idx``."""
+        train = self.nn_._fit_X_
+        n, k = idx.shape
+        rows = np.arange(n)
+        # SNN similarity between each query's kNN list and each candidate's:
+        # membership[i, t] marks t ∈ kNN(i), so gathering it at the
+        # candidates' own kNN lists and summing counts the shared neighbors.
+        candidates = np.sort(idx, axis=1)  # = unique(idx[i]): kNN lists are
+        membership = np.zeros((n, train.shape[0]), dtype=bool)  # duplicate-free
+        membership[rows[:, None], idx] = True
+        cand_knn = self._train_knn_[candidates]                # (n, k, k_t)
+        sims = membership[rows[:, None, None], cand_knn].sum(axis=2)
+        order = np.argsort(sims, axis=1)[:, ::-1]
+        ref_idx = np.take_along_axis(candidates, order, axis=1)[:, : self._l]
+        ref = train[ref_idx]                                   # (n, l, d)
+        mean = ref.mean(axis=1)
+        var = ref.var(axis=1)
+        mean_var = var.mean(axis=1)
+        keep = var < self.alpha * mean_var[:, None]
+        n_kept = keep.sum(axis=1)
+        sq_dist = np.einsum("nd,nd->n", (X - mean) ** 2, keep)
+        return np.where(
+            n_kept > 0, np.sqrt(sq_dist) / np.maximum(n_kept, 1), 0.0
         )
-        order = np.argsort(sims)[::-1]
-        return candidates[order[: self._l]]
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        exclude_self = X.shape == self.nn_._fit_X_.shape and np.array_equal(
-            X, self.nn_._fit_X_
-        )
-        _, idx = self.nn_.kneighbors(X, exclude_self=exclude_self)
-        train = self.nn_._fit_X_
-        scores = np.empty(X.shape[0])
-        for i in range(X.shape[0]):
-            ref = train[self._reference_set(idx[i])]
-            mean = ref.mean(axis=0)
-            var = ref.var(axis=0)
-            mean_var = var.mean()
-            keep = var < self.alpha * mean_var
-            if not keep.any():
-                scores[i] = 0.0
-                continue
-            diff = (X[i] - mean)[keep]
-            scores[i] = float(np.sqrt(np.sum(diff**2)) / keep.sum())
+        _, idx = self._kneighbors(self.nn_, X)
+        n = X.shape[0]
+        scores = np.empty(n)
+        for s, e in iter_row_blocks(n, self.nn_._fit_X_.shape[0]):
+            scores[s:e] = self._batched_sod(X[s:e], idx[s:e])
         return scores

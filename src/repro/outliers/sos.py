@@ -4,6 +4,11 @@ Each point gets a Gaussian affinity to the others whose bandwidth is tuned
 by binary search so its binding distribution has a fixed perplexity. The
 outlier probability of a point is the product over the others of (1 − their
 binding probability to it) — nobody "chooses" an outlier as a neighbor.
+
+The per-row perplexity bisection runs simultaneously for all rows
+(t-SNE-style): every row's beta advances each iteration and converged rows
+are masked out, so the whole binding matrix costs ``max_iter`` vectorized
+sweeps instead of n independent Python-level searches.
 """
 
 from __future__ import annotations
@@ -18,33 +23,47 @@ def _binding_probabilities(
 ) -> np.ndarray:
     """Row-stochastic binding matrix B with target perplexity per row."""
     n = D2.shape[0]
-    B = np.zeros((n, n))
     log_perp = np.log(perplexity)
-    for i in range(n):
-        beta_lo, beta_hi = 0.0, np.inf
-        beta = 1.0
-        d = np.delete(D2[i], i)
-        for _ in range(max_iter):
-            aff = np.exp(-d * beta)
-            s = aff.sum()
-            if s <= 0:
-                h = 0.0
-                p = np.zeros_like(aff)
-            else:
-                p = aff / s
-                h = -np.sum(p[p > 0] * np.log(p[p > 0]))  # Shannon entropy
-            diff = h - log_perp
-            if abs(diff) < tol:
-                break
-            if diff > 0:  # entropy too high -> sharpen
-                beta_lo = beta
-                beta = beta * 2.0 if not np.isfinite(beta_hi) else 0.5 * (beta + beta_hi)
-            else:
-                beta_hi = beta
-                beta = 0.5 * (beta + beta_lo)
-        row = np.zeros(n)
-        row[np.arange(n) != i] = p
-        B[i] = row
+    off_diag = ~np.eye(n, dtype=bool)
+    d = D2[off_diag].reshape(n, n - 1)
+    beta = np.ones(n)
+    beta_lo = np.zeros(n)
+    beta_hi = np.full(n, np.inf)
+    P = np.zeros((n, max(n - 1, 0)))
+    active = np.ones(n, dtype=bool)
+    for _ in range(max_iter):
+        if not active.any():
+            break
+        rows = np.nonzero(active)[0]
+        aff = np.exp(-d[rows] * beta[rows][:, None])
+        s = aff.sum(axis=1)
+        pos = s > 0
+        p = np.zeros_like(aff)
+        p[pos] = aff[pos] / s[pos, None]
+        h = -np.sum(p * np.log(np.where(p > 0, p, 1.0)), axis=1)  # entropy
+        h[~pos] = 0.0
+        diff = h - log_perp
+        P[rows] = p
+        converged = np.abs(diff) < tol
+        active[rows[converged]] = False
+        # Bisection step for the rows still chasing the target perplexity —
+        # same update rule as the scalar search, advanced for all at once.
+        upd = rows[~converged]
+        if upd.shape[0] == 0:
+            continue
+        sharpen = diff[~converged] > 0  # entropy too high -> raise beta
+        b = beta[upd]
+        hi_rows = upd[sharpen]
+        beta_lo[hi_rows] = b[sharpen]
+        finite_hi = np.isfinite(beta_hi[hi_rows])
+        beta[hi_rows] = np.where(
+            finite_hi, 0.5 * (b[sharpen] + beta_hi[hi_rows]), b[sharpen] * 2.0
+        )
+        lo_rows = upd[~sharpen]
+        beta_hi[lo_rows] = b[~sharpen]
+        beta[lo_rows] = 0.5 * (b[~sharpen] + beta_lo[lo_rows])
+    B = np.zeros((n, n))
+    B[off_diag] = P.ravel()
     return B
 
 
