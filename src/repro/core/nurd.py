@@ -85,6 +85,13 @@ class NurdPredictor(OnlineStragglerPredictor):
     warm_refresh : float
         Growth factor of the finished set that triggers a full refit
         (> 1; ``np.inf`` never refreshes).
+    warm_propensity : bool
+        When True, the propensity model ``g_t`` continues from the previous
+        checkpoint's fitted state (Newton restarted from its coefficients on
+        the new finished/running split) instead of refitting from scratch.
+        Both fits converge to the same strictly convex optimum within the
+        solver tolerance, so flags are unchanged in practice; the default
+        stays False so the batch reference path is bit-stable.
     splitter : {'hist', 'exact'}
         Split search of the default latency model's trees (ignored when a
         custom ``regressor`` is supplied).
@@ -103,6 +110,7 @@ class NurdPredictor(OnlineStragglerPredictor):
         warm_start: bool = True,
         warm_increment: int = 25,
         warm_refresh: float = 1.45,
+        warm_propensity: bool = False,
         splitter: str = "hist",
         random_state=None,
     ):
@@ -115,6 +123,7 @@ class NurdPredictor(OnlineStragglerPredictor):
         self.warm_start = warm_start
         self.warm_increment = warm_increment
         self.warm_refresh = warm_refresh
+        self.warm_propensity = warm_propensity
         self.splitter = splitter
         self.random_state = random_state
 
@@ -184,12 +193,40 @@ class NurdPredictor(OnlineStragglerPredictor):
             self.h_.fit(X_fin, y_fin)
             self._n_full_fit = X_fin.shape[0]
             self._base_trees = max(len(getattr(self.h_, "estimators_", [])), 1)
+        self._fit_propensity(X_fin, X_run)
+        self._fitted_models = True
+
+    def partial_update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
+        """Budget-degraded update: refresh ``g_t`` only, keep the cached ``h_t``.
+
+        The propensity model discriminates finished vs. running — a split
+        that shifts at every checkpoint — while the latency regressor learns
+        a slowly-drifting function of the features, so under a latency
+        budget refreshing ``g_t`` (a few Newton steps) and reusing the
+        cached ensemble retains most of the full update's accuracy at a
+        fraction of its cost (see :meth:`ReplayStream.step`'s budget tiers).
+        """
+        check_is_fitted(self, ["h_"])
+        X_fin, y_fin = check_X_y(X_fin, y_fin)
+        X_run = check_array(X_run, allow_empty=True)
+        self._fit_propensity(X_fin, X_run)
+
+    def _fit_propensity(self, X_fin, X_run) -> None:
         if X_run.shape[0] > 0:
-            self.g_ = PropensityScorer(model=self.propensity_model)
+            warm_g = (
+                self.warm_propensity
+                and getattr(self, "_fitted_models", False)
+                and isinstance(getattr(self, "g_", None), PropensityScorer)
+                and self.g_.warm_start
+            )
+            if not warm_g:
+                self.g_ = PropensityScorer(
+                    model=self.propensity_model,
+                    warm_start=self.warm_propensity,
+                )
             self.g_.fit(X_fin, X_run)
         else:
             self.g_ = None
-        self._fitted_models = True
 
     # ------------------------------------------------------------------
     def predict_weights(self, X_run) -> np.ndarray:
@@ -237,6 +274,7 @@ class NurdNcPredictor(NurdPredictor):
         warm_start: bool = True,
         warm_increment: int = 25,
         warm_refresh: float = 1.45,
+        warm_propensity: bool = False,
         splitter: str = "hist",
         random_state=None,
     ):
@@ -250,6 +288,7 @@ class NurdNcPredictor(NurdPredictor):
             warm_start=warm_start,
             warm_increment=warm_increment,
             warm_refresh=warm_refresh,
+            warm_propensity=warm_propensity,
             splitter=splitter,
             random_state=random_state,
         )

@@ -1,0 +1,29 @@
+"""Online scoring service: the streaming counterpart of batch replay.
+
+- :mod:`repro.serving.engine` — incremental scoring engine: many in-flight
+  jobs, per-checkpoint latency budget, cached-state degradation.
+- :mod:`repro.serving.service` — asyncio ingest-queue → score → emit loop
+  with sharded workers and backpressure.
+- :mod:`repro.serving.stats` — latency reservoir for p50/p99 reporting.
+"""
+
+from repro.serving.engine import ScoreEvent, ScoringEngine
+from repro.serving.service import (
+    BeginJob,
+    FinishJob,
+    ScoreCheckpoint,
+    ScorerService,
+    ServiceConfig,
+)
+from repro.serving.stats import LatencyStats
+
+__all__ = [
+    "ScoringEngine",
+    "ScoreEvent",
+    "ScorerService",
+    "ServiceConfig",
+    "BeginJob",
+    "ScoreCheckpoint",
+    "FinishJob",
+    "LatencyStats",
+]

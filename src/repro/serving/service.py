@@ -1,0 +1,213 @@
+"""Long-running async scorer service: ingest queue → score → emit.
+
+The service wraps a :class:`~repro.serving.engine.ScoringEngine` behind a
+bounded asyncio ingest queue, mirroring the warmup/interval online-policy
+loop of profiler-style services: producers submit job warmups and checkpoint
+ticks, workers score them in arrival order, and every scored checkpoint is
+emitted as a :class:`~repro.serving.engine.ScoreEvent` to the caller's sink.
+
+Ordering guarantee: events of one job are always processed by the same
+worker shard (stable CRC32 routing), so a job's checkpoints are scored in
+submission order even with several workers. The bounded queues give natural
+backpressure — ``submit`` blocks (asynchronously) when scoring falls behind
+the checkpoint rate, instead of buffering without limit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.serving.engine import ScoreEvent, ScoringEngine
+from repro.sim.replay import ReplayResult, ReplaySimulator
+from repro.traces.schema import Job
+
+
+@dataclass
+class BeginJob:
+    """Register a job: warms up its incremental stream."""
+
+    job: Job
+    tau_stra: Optional[float] = None
+
+
+@dataclass
+class ScoreCheckpoint:
+    """Score one checkpoint tick of a registered job."""
+
+    job_id: str
+    tau: float
+
+
+@dataclass
+class FinishJob:
+    """Close a job's stream; its ReplayResult lands in ``service.results``."""
+
+    job_id: str
+
+
+Request = Union[BeginJob, ScoreCheckpoint, FinishJob]
+
+
+@dataclass
+class ServiceConfig:
+    """Scorer-service knobs (see EXPERIMENTS.md, "Serving benchmark").
+
+    - ``n_workers``: worker shards consuming the ingest queues. Jobs are
+      routed to shards by stable hash, preserving per-job checkpoint order.
+    - ``queue_depth``: per-shard ingest queue bound; producers block when
+      scoring falls behind (backpressure).
+    - ``budget``: per-checkpoint latency budget in seconds forwarded to the
+      engine; ``None`` keeps every checkpoint bit-identical to batch replay.
+    """
+
+    n_workers: int = 1
+    queue_depth: int = 256
+    budget: Optional[float] = None
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1.")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1.")
+
+
+class ScorerService:
+    """Async façade over the incremental scoring engine.
+
+    Usage::
+
+        service = ScorerService(lambda: NurdPredictor(random_state=0))
+        await service.start()
+        await service.submit(BeginJob(job))
+        for tau in service.engine.checkpoint_grid(job.job_id):  # after drain
+            await service.submit(ScoreCheckpoint(job.job_id, tau))
+        await service.submit(FinishJob(job.job_id))
+        await service.drain()
+        result = service.results[job.job_id]
+        await service.stop()
+
+    or, for whole-job replay at serving speed, :meth:`replay_job` /
+    :meth:`replay_trace`.
+    """
+
+    def __init__(
+        self,
+        predictor_factory: Callable[[], object],
+        simulator: Optional[ReplaySimulator] = None,
+        config: Optional[ServiceConfig] = None,
+        emit: Optional[Callable[[ScoreEvent], object]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.engine = ScoringEngine(
+            predictor_factory,
+            simulator=simulator,
+            budget=self.config.budget,
+        )
+        self._emit = emit
+        self.results: Dict[str, ReplayResult] = {}
+        self.events: List[ScoreEvent] = [] if emit is None else []
+        self._queues: List[asyncio.Queue] = []
+        self._workers: List[asyncio.Task] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker shards; idempotent."""
+        if self._started:
+            return
+        self._queues = [
+            asyncio.Queue(maxsize=self.config.queue_depth)
+            for _ in range(self.config.n_workers)
+        ]
+        self._workers = [
+            asyncio.create_task(self._worker(q)) for q in self._queues
+        ]
+        self._started = True
+
+    async def submit(self, request: Request) -> None:
+        """Enqueue a request; blocks when the shard's queue is full."""
+        if not self._started:
+            raise RuntimeError("service not started; call await start() first.")
+        await self._queues[self._shard(request)].put(request)
+
+    async def drain(self) -> None:
+        """Wait until every submitted request has been processed."""
+        for q in self._queues:
+            await q.join()
+
+    async def stop(self) -> None:
+        """Drain, then cancel the workers."""
+        if not self._started:
+            return
+        await self.drain()
+        for w in self._workers:
+            w.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._queues = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def replay_job(
+        self, job: Job, tau_stra: Optional[float] = None
+    ) -> ReplayResult:
+        """Submit a job's full warmup → checkpoint → finish lifecycle."""
+        await self.submit(BeginJob(job, tau_stra))
+        # The grid is known only after the warmup request is processed.
+        shard = self._queues[self._route(job.job_id)]
+        await shard.join()
+        for tau in self.engine.checkpoint_grid(job.job_id):
+            await self.submit(ScoreCheckpoint(job.job_id, float(tau)))
+        await self.submit(FinishJob(job.job_id))
+        await shard.join()
+        return self.results[job.job_id]
+
+    async def replay_trace(self, trace) -> List[ReplayResult]:
+        """Replay every job of a trace through the service concurrently."""
+        return list(
+            await asyncio.gather(*(self.replay_job(job) for job in trace))
+        )
+
+    # ------------------------------------------------------------------
+    def _shard(self, request: Request) -> int:
+        if isinstance(request, BeginJob):
+            return self._route(request.job.job_id)
+        return self._route(request.job_id)
+
+    def _route(self, job_id: str) -> int:
+        # Stable routing (not Python's salted hash): one shard per job keeps
+        # its checkpoints in submission order across workers.
+        return zlib.crc32(job_id.encode()) % self.config.n_workers
+
+    async def _worker(self, queue: asyncio.Queue) -> None:
+        while True:
+            request = await queue.get()
+            try:
+                await self._handle(request)
+            finally:
+                queue.task_done()
+
+    async def _handle(self, request: Request) -> None:
+        if isinstance(request, BeginJob):
+            self.engine.begin_job(request.job, tau_stra=request.tau_stra)
+        elif isinstance(request, ScoreCheckpoint):
+            event = self.engine.score_checkpoint(request.job_id, request.tau)
+            await self._dispatch(event)
+        elif isinstance(request, FinishJob):
+            self.results[request.job_id] = self.engine.finish_job(
+                request.job_id
+            )
+        else:
+            raise TypeError(f"unknown request type: {type(request).__name__}")
+
+    async def _dispatch(self, event: ScoreEvent) -> None:
+        if self._emit is None:
+            self.events.append(event)
+            return
+        out = self._emit(event)
+        if inspect.isawaitable(out):
+            await out

@@ -1,0 +1,76 @@
+"""Latency accounting for the scorer service.
+
+A bounded reservoir of per-checkpoint score latencies plus running
+counters — enough to report sustained throughput and tail latency without
+unbounded memory on long-running streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency reservoir with percentile queries.
+
+    Keeps at most ``max_samples`` latencies (uniform reservoir sampling via a
+    deterministic counter-seeded generator, so repeated runs are
+    reproducible); count/total are exact regardless of eviction.
+    """
+
+    max_samples: int = 4096
+    count: int = 0
+    total_seconds: float = 0.0
+    _samples: List[float] = field(default_factory=list, repr=False)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1.")
+        if self._rng is None:
+            self._rng = np.random.default_rng(0)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be non-negative.")
+        self.count += 1
+        self.total_seconds += seconds
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            # Reservoir sampling keeps each observation with equal probability.
+            j = int(self._rng.integers(0, self.count))
+            if j < self.max_samples:
+                self._samples[j] = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over the reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100].")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p99_s": self.p99,
+        }

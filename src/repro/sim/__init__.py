@@ -7,7 +7,12 @@ predictions to relaunch stragglers and the harness measures job-completion
 time (JCT) reduction.
 """
 
-from repro.sim.replay import ReplaySimulator, ReplayResult
+from repro.sim.replay import (
+    ReplaySimulator,
+    ReplayResult,
+    ReplayStream,
+    StepOutcome,
+)
 from repro.sim.scheduler import (
     simulate_unlimited_machines,
     simulate_limited_machines,
@@ -17,6 +22,8 @@ from repro.sim.scheduler import (
 __all__ = [
     "ReplaySimulator",
     "ReplayResult",
+    "ReplayStream",
+    "StepOutcome",
     "simulate_unlimited_machines",
     "simulate_limited_machines",
     "jct_reduction",

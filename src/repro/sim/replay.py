@@ -15,8 +15,9 @@ task progress (fully-finished tasks are observed exactly).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -45,12 +46,23 @@ class ReplayResult:
     flag_times: np.ndarray      # time each task was flagged (inf = never)
     checkpoints: np.ndarray     # the τ_run_t grid used
     latencies: np.ndarray       # true task execution times (for schedulers)
-    start_times: np.ndarray = None  # task start times (zeros when absent)
+    #: Task start times; ``None`` means all tasks start at time 0.
+    start_times: Optional[np.ndarray] = field(default=None)
     meta: Dict = field(default_factory=dict)
 
     def __post_init__(self):
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
         if self.start_times is None:
             self.start_times = np.zeros_like(self.latencies)
+        else:
+            self.start_times = np.asarray(self.start_times, dtype=np.float64)
+            if self.start_times.shape != self.latencies.shape:
+                raise ValueError(
+                    f"start_times has shape {self.start_times.shape} but "
+                    f"latencies has shape {self.latencies.shape}."
+                )
+            if np.any(self.start_times < 0):
+                raise ValueError("start_times must be non-negative.")
 
     @property
     def completion_times(self) -> np.ndarray:
@@ -75,7 +87,9 @@ class ReplayResult:
 
     def f1_at_time(self, tau: float) -> float:
         """F1 of the flags issued up to time ``tau`` against full ground truth."""
-        flagged_by_tau = self.flag_times <= tau
+        # Mask the inf sentinel explicitly: a never-flagged task must not
+        # count as flagged when tau is itself inf.
+        flagged_by_tau = np.isfinite(self.flag_times) & (self.flag_times <= tau)
         return f1_score(self.y_true, flagged_by_tau)
 
     def streaming_f1(self, n_points: int = 10) -> np.ndarray:
@@ -163,6 +177,13 @@ class ReplaySimulator:
             q = np.linspace(self.warmup_fraction, 0.995, self.n_checkpoints + 1)
             grid = np.quantile(completion, q)
             grid = np.maximum.accumulate(grid)
+        # Enforce a strictly increasing grid: quantile grids plateau on
+        # duplicated completion times, and degenerate jobs can collapse the
+        # log/time spans below float resolution. Checkpoints must be distinct
+        # so flag_times identify the checkpoint that issued each flag.
+        for i in range(1, grid.shape[0]):
+            if grid[i] <= grid[i - 1]:
+                grid[i] = np.nextafter(grid[i - 1], np.inf)
         return grid
 
     def observed_features(
@@ -268,3 +289,290 @@ class ReplaySimulator:
             predictor = predictor_factory()
             results.append(self.run(job, predictor, tau_stra=tau_stra))
         return results
+
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        job: Job,
+        predictor: OnlineStragglerPredictor,
+        tau_stra: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "ReplayStream":
+        """Open an incremental checkpoint stream for ``job``.
+
+        The stream reproduces :meth:`run` bit-for-bit (same RNG consumption,
+        same arithmetic per task row) while touching only the tasks whose
+        observation-noise scale changed since the previous checkpoint.
+        """
+        return ReplayStream(self, job, predictor, tau_stra=tau_stra, clock=clock)
+
+    def run_incremental(
+        self,
+        job: Job,
+        predictor: OnlineStragglerPredictor,
+        tau_stra: Optional[float] = None,
+        budget: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> ReplayResult:
+        """Replay ``job`` through the incremental checkpoint path.
+
+        With ``budget=None`` the outcome is bit-identical to :meth:`run`
+        (enforced by ``tests/test_streaming_parity.py``). A finite ``budget``
+        (seconds per checkpoint) enables the latency-budget fast path: when
+        the projected model-update cost would blow the budget, the checkpoint
+        is scored with the cached predictor state instead (see
+        :meth:`ReplayStream.step`).
+        """
+        stream = self.stream(job, predictor, tau_stra=tau_stra, clock=clock)
+        for tau in stream.checkpoints:
+            stream.step(tau, budget=budget)
+        return stream.result()
+
+
+@dataclass
+class StepOutcome:
+    """What happened at one incremental checkpoint."""
+
+    tau: float
+    n_finished: int = 0
+    n_running: int = 0
+    newly_flagged: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.intp)
+    )
+    scored: bool = False        # False when the checkpoint had nothing to score
+    updated: bool = False       # False when the budget degraded the update
+    #: "full" = complete refit; "partial" = predictor.partial_update (e.g.
+    #: NURD's propensity-only refresh); "cached" = scored on stale state;
+    #: "none" = nothing finished/running, checkpoint skipped.
+    update_mode: str = "none"
+    refreshed_rows: int = 0     # noise rows re-scaled by the delta update
+    update_seconds: float = 0.0
+    score_seconds: float = 0.0
+
+
+class ReplayStream:
+    """Incremental (streaming) checkpoint path of :class:`ReplaySimulator`.
+
+    Instead of regenerating the full noise-perturbed ``observed_features``
+    matrix at every checkpoint, the stream keeps a cached observation matrix
+    and a per-task noise row store keyed by task index (one draw per job from
+    the simulator RNG — the exact draw the batch path makes, so both paths
+    see bit-identical noise). At each checkpoint only the rows whose noise
+    scale changed — running tasks, plus tasks that just started or finished —
+    are re-scaled; rows finished (observed exactly) or not yet started keep
+    their cached values, which the decaying-noise model makes exact, not an
+    approximation.
+
+    The per-checkpoint latency budget (``step(budget=...)``) implements the
+    serving fast path: an EWMA of past update/score costs projects the next
+    checkpoint's latency, and the model update only runs when the budget can
+    pay for it. Credit is banked token-bucket style — every scored
+    checkpoint accrues ``budget`` seconds, and an update spends its actual
+    cost — so a budget of a third of the update cost yields a refit roughly
+    every third checkpoint while the long-run average stays within budget.
+    Checkpoints in between degrade in tiers: when the predictor offers a
+    ``partial_update`` (NURD refreshes its propensity model and keeps the
+    cached latency regressor) and the credit covers its projected cost, the
+    partial tier runs; otherwise ``predict_stragglers`` runs on the fully
+    cached state — the previous refit's regressor and propensity weights.
+    The first update of a job always runs, whatever the budget.
+
+    Use :meth:`ReplaySimulator.stream` to construct; drive with :meth:`step`
+    over ``self.checkpoints`` (strictly increasing ``tau``) and collect the
+    final :class:`ReplayResult` from :meth:`result`.
+    """
+
+    #: EWMA smoothing for the projected update/score cost.
+    _EWMA = 0.5
+
+    def __init__(
+        self,
+        sim: ReplaySimulator,
+        job: Job,
+        predictor: OnlineStragglerPredictor,
+        tau_stra: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.sim = sim
+        self.job = job
+        self.predictor = predictor
+        self.clock = clock
+        rng = check_random_state(sim.random_state)
+        n = job.n_tasks
+        if tau_stra is None:
+            tau_stra = job.straggler_threshold(sim.straggler_percentile)
+        self.tau_stra = float(tau_stra)
+        grid = sim.checkpoint_grid(job)
+        self.warmup_time = float(grid[0])
+        self.checkpoints = grid[1:]
+        # Per-task noise rows: the same single draw the batch path makes, so
+        # delta-updated rows reproduce its arithmetic bit-for-bit.
+        self._noise = rng.normal(0.0, 1.0, size=job.features.shape)
+        self._X_obs = np.array(job.features, dtype=np.float64, copy=True)
+        self._scale = np.full(n, np.nan)  # NaN: every row dirty at warmup
+        self.flagged = np.zeros(n, dtype=bool)
+        self.flag_times = np.full(n, np.inf)
+        self._last_tau = self.warmup_time
+        self._n_updates = 0
+        self._update_cost: Optional[float] = None
+        self._partial_cost: Optional[float] = None
+        self._score_cost: Optional[float] = None
+        self._credit = 0.0
+        self.degraded_checkpoints = 0
+        self.refreshed_rows_total = 0
+        self._begin()
+
+    # -- feature deltas -------------------------------------------------
+    def _refresh_observed(self, tau: float) -> np.ndarray:
+        """Bring the cached observation matrix up to time ``tau``.
+
+        Returns the number of rows re-scaled (0 when noise is disabled).
+        """
+        job = self.job
+        if self.sim.feature_noise == 0.0:
+            return 0
+        elapsed = np.maximum(tau - job.start_times, 0.0)
+        progress = np.minimum(1.0, elapsed / job.latencies)
+        scale = self.sim.feature_noise * (1.0 - progress)
+        changed = scale != self._scale  # NaN compares unequal: dirty rows too
+        n_changed = int(np.count_nonzero(changed))
+        if n_changed:
+            rows = np.nonzero(changed)[0]
+            X = job.features[rows] * (1.0 + scale[rows, None] * self._noise[rows])
+            self._X_obs[rows] = np.maximum(X, 0.0)
+            self._scale[rows] = scale[rows]
+            self.refreshed_rows_total += n_changed
+        return n_changed
+
+    def observed_features(self) -> np.ndarray:
+        """The cached observation matrix as of the last *scored* checkpoint.
+
+        Skipped checkpoints (nothing finished or nothing running) consume no
+        observations, so — exactly like the batch path — the matrix is not
+        advanced for them.
+        """
+        if self.sim.feature_noise == 0.0:
+            return self.job.features
+        return self._X_obs
+
+    # -- lifecycle ------------------------------------------------------
+    def _begin(self) -> None:
+        job, y = self.job, self.job.latencies
+        starts, completion = job.start_times, job.completion_times
+        finished = completion <= self.warmup_time
+        if not finished.any():
+            # Degenerate grid; force the earliest completion to count.
+            finished = completion <= completion.min()
+        self._refresh_observed(self.warmup_time)
+        X0 = self.observed_features()
+        running0 = (starts <= self.warmup_time) & ~finished & ~self.flagged
+        if running0.any():
+            self.predictor.begin_job(
+                X0[finished], y[finished], X0[running0], self.tau_stra
+            )
+        else:
+            self.predictor.begin_job(
+                X0[finished], y[finished], X0[finished], self.tau_stra
+            )
+
+    def step(self, tau: float, budget: Optional[float] = None) -> StepOutcome:
+        """Advance the stream to checkpoint ``tau`` and score running tasks.
+
+        ``tau`` must be strictly greater than the previously stepped
+        checkpoint — the stream is forward-only, like the job it replays.
+        """
+        tau = float(tau)
+        if tau <= self._last_tau:
+            raise ValueError(
+                f"checkpoints must be strictly increasing; got {tau} after "
+                f"{self._last_tau}."
+            )
+        self._last_tau = tau
+        job, y = self.job, self.job.latencies
+        completion = job.completion_times
+        finished = completion <= tau
+        running = (job.start_times <= tau) & ~finished & ~self.flagged
+        out = StepOutcome(
+            tau=tau,
+            n_finished=int(finished.sum()),
+            n_running=int(running.sum()),
+        )
+        if not finished.any() or not running.any():
+            return out
+        refreshed = self._refresh_observed(tau)
+        out.refreshed_rows = refreshed
+        X_run = self.observed_features()[running]
+        mode = "full"
+        partial = getattr(self.predictor, "partial_update", None)
+        if budget is not None and self._n_updates > 0:
+            self._credit += budget
+            score_est = self._score_cost or 0.0
+            if (self._update_cost or 0.0) + score_est > self._credit:
+                mode = "cached"
+                if partial is not None and (
+                    self._partial_cost is None
+                    or self._partial_cost + score_est <= self._credit
+                ):
+                    mode = "partial"
+        elapsed_run = tau - job.start_times[running]
+        if mode == "full":
+            t0 = self.clock()
+            self.predictor.update(
+                job.features[finished], y[finished], X_run, elapsed_run
+            )
+            out.update_seconds = self.clock() - t0
+            self._update_cost = self._ewma(self._update_cost, out.update_seconds)
+            self._n_updates += 1
+            out.updated = True
+        elif mode == "partial":
+            t0 = self.clock()
+            partial(job.features[finished], y[finished], X_run, elapsed_run)
+            out.update_seconds = self.clock() - t0
+            self._partial_cost = self._ewma(self._partial_cost, out.update_seconds)
+            self.degraded_checkpoints += 1
+        else:
+            self.degraded_checkpoints += 1
+        if budget is not None and out.update_seconds:
+            self._credit = max(0.0, self._credit - out.update_seconds)
+        out.update_mode = mode
+        t0 = self.clock()
+        flags = np.asarray(self.predictor.predict_stragglers(X_run), dtype=bool)
+        out.score_seconds = self.clock() - t0
+        self._score_cost = self._ewma(self._score_cost, out.score_seconds)
+        if flags.shape[0] != out.n_running:
+            raise ValueError(
+                f"{self.predictor.name} returned {flags.shape[0]} flags for "
+                f"{out.n_running} running tasks."
+            )
+        idx = np.nonzero(running)[0][flags]
+        self.flagged[idx] = True
+        self.flag_times[idx] = tau
+        out.newly_flagged = idx
+        out.scored = True
+        return out
+
+    def _ewma(self, prev: Optional[float], value: float) -> float:
+        if prev is None:
+            return value
+        return self._EWMA * value + (1.0 - self._EWMA) * prev
+
+    def result(self) -> ReplayResult:
+        """Collect the stream's outcome as a :class:`ReplayResult`."""
+        job = self.job
+        return ReplayResult(
+            job_id=job.job_id,
+            tau_stra=self.tau_stra,
+            y_true=job.latencies >= self.tau_stra,
+            y_flag=self.flagged.copy(),
+            flag_times=self.flag_times.copy(),
+            checkpoints=self.checkpoints,
+            latencies=job.latencies.copy(),
+            start_times=job.start_times.copy(),
+            meta={
+                "warmup_time": self.warmup_time,
+                "mode": "incremental",
+                "degraded_checkpoints": self.degraded_checkpoints,
+                "refreshed_rows": self.refreshed_rows_total,
+                "updates": self._n_updates,
+            },
+        )

@@ -1,9 +1,12 @@
 """Trace persistence: one CSV per trace, self-describing header.
 
-Format: columns ``job_id, latency, <feature...>`` — the same flat layout the
-public Google/Alibaba trace dumps use after joining task events with usage
-tables, so a user can load the *real* traces into :class:`repro.traces.Trace`
-by converting them to this CSV.
+Format: columns ``job_id, latency, start_time, <feature...>`` — the same
+flat layout the public Google/Alibaba trace dumps use after joining task
+events with usage tables, so a user can load the *real* traces into
+:class:`repro.traces.Trace` by converting them to this CSV. Floats are
+written with ``repr``, which NumPy round-trips exactly, so save → load is
+bit-identical. Files written before the ``start_time`` column existed (no
+``start_time`` header) still load, with all tasks starting at time 0.
 """
 
 from __future__ import annotations
@@ -32,11 +35,15 @@ def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
             )
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["job_id", "latency", *feature_names])
+        writer.writerow(["job_id", "latency", "start_time", *feature_names])
         for job in trace.jobs:
             for i in range(job.n_tasks):
                 writer.writerow(
-                    [job.job_id, repr(float(job.latencies[i]))]
+                    [
+                        job.job_id,
+                        repr(float(job.latencies[i])),
+                        repr(float(job.start_times[i])),
+                    ]
                     + [repr(float(v)) for v in job.features[i]]
                 )
 
@@ -52,7 +59,10 @@ def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
                 f"{path} is not a trace CSV (expected 'job_id,latency,<features>' "
                 f"header, got {header[:3]}...)."
             )
-        feature_names = header[2:]
+        has_starts = header[2] == "start_time"
+        feature_names = header[3:] if has_starts else header[2:]
+        if not feature_names:
+            raise ValueError(f"{path} has no feature columns.")
         rows_by_job = defaultdict(list)
         order = []
         for row in reader:
@@ -61,14 +71,16 @@ def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
                 order.append(job_id)
             rows_by_job[job_id].append([float(v) for v in row[1:]])
     jobs = []
+    n_meta = 2 if has_starts else 1  # latency (+ start_time) before features
     for job_id in order:
         arr = np.asarray(rows_by_job[job_id], dtype=np.float64)
         jobs.append(
             Job(
                 job_id=job_id,
-                features=arr[:, 1:],
+                features=arr[:, n_meta:],
                 latencies=arr[:, 0],
                 feature_names=list(feature_names),
+                start_times=arr[:, 1] if has_starts else None,
             )
         )
     return Trace(name=name or path.stem, jobs=jobs)

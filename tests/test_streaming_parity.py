@@ -1,0 +1,284 @@
+"""Batch ↔ incremental checkpoint-path parity (PR 6's acceptance gate).
+
+``ReplaySimulator.run`` is the preserved batch reference: it regenerates the
+full noise-perturbed observation matrix at every checkpoint. The incremental
+path (``ReplaySimulator.run_incremental`` / ``ReplayStream``) must reproduce
+it **bit-for-bit** — same RNG consumption, same arithmetic per task row —
+on both synthetic trace families, including duplicate-task, zero-noise and
+staggered-start edge cases. The serving engine and async service sit on top
+of the same stream, so their unbudgeted output is checked against the batch
+reference too.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.nurd import NurdNcPredictor, NurdPredictor
+from repro.eval.baselines import build_predictor
+from repro.serving import ScoringEngine, ScorerService, ServiceConfig
+from repro.sim.replay import ReplaySimulator
+from repro.traces.schema import Job, Trace
+
+
+def assert_replay_equal(batch, incremental):
+    """Field-for-field bitwise equality of two ReplayResults."""
+    assert batch.job_id == incremental.job_id
+    assert batch.tau_stra == incremental.tau_stra
+    np.testing.assert_array_equal(batch.y_true, incremental.y_true)
+    np.testing.assert_array_equal(batch.y_flag, incremental.y_flag)
+    np.testing.assert_array_equal(batch.flag_times, incremental.flag_times)
+    np.testing.assert_array_equal(batch.checkpoints, incremental.checkpoints)
+    np.testing.assert_array_equal(batch.latencies, incremental.latencies)
+    np.testing.assert_array_equal(batch.start_times, incremental.start_times)
+
+
+def both_paths(sim, job, seed, **nurd_kwargs):
+    batch = sim.run(job, NurdPredictor(random_state=seed, **nurd_kwargs))
+    inc = sim.run_incremental(
+        job, NurdPredictor(random_state=seed, **nurd_kwargs)
+    )
+    return batch, inc
+
+
+class TestNurdFlagParity:
+    """NURD flags bit-identical across both synthetic trace families."""
+
+    @pytest.mark.parametrize("family", ["google", "alibaba"])
+    def test_flags_bit_identical(self, family, google_trace, alibaba_trace):
+        trace = google_trace if family == "google" else alibaba_trace
+        sim = ReplaySimulator(n_checkpoints=8, random_state=0)
+        for i, job in enumerate(trace):
+            batch, inc = both_paths(sim, job, seed=i)
+            assert_replay_equal(batch, inc)
+
+    def test_flags_bit_identical_nurd_nc(self, google_trace):
+        sim = ReplaySimulator(n_checkpoints=6, random_state=3)
+        job = google_trace[0]
+        batch = sim.run(job, NurdNcPredictor(random_state=0))
+        inc = sim.run_incremental(job, NurdNcPredictor(random_state=0))
+        assert_replay_equal(batch, inc)
+
+    @pytest.mark.parametrize("method", ["GBTR", "KNN", "IFOREST"])
+    def test_baseline_methods_parity(self, method, google_trace):
+        """The stream is predictor-agnostic: baselines replay identically."""
+        job = google_trace[0]
+        sim = ReplaySimulator(n_checkpoints=6, random_state=1)
+        batch = sim.run(job, build_predictor(method, contamination=0.1,
+                                             random_state=0))
+        inc = sim.run_incremental(
+            job, build_predictor(method, contamination=0.1, random_state=0)
+        )
+        assert_replay_equal(batch, inc)
+
+    @pytest.mark.parametrize("grid", ["log", "time", "quantile"])
+    def test_parity_across_grid_modes(self, grid, alibaba_trace):
+        job = alibaba_trace[1]
+        sim = ReplaySimulator(n_checkpoints=6, grid=grid, random_state=5)
+        batch, inc = both_paths(sim, job, seed=2)
+        assert_replay_equal(batch, inc)
+
+
+class TestObservedFeatureParity:
+    """The delta-updated observation matrix equals the batch recomputation."""
+
+    def _noise_for(self, sim, job):
+        # The stream draws its noise exactly as the batch path does: first
+        # normal draw from the simulator seed, full feature shape.
+        rng = np.random.default_rng(sim.random_state)
+        return rng.normal(0.0, 1.0, size=job.features.shape)
+
+    def test_observed_matrix_bitwise_every_checkpoint(self, google_trace):
+        job = google_trace[0]
+        sim = ReplaySimulator(n_checkpoints=12, random_state=9)
+        noise = self._noise_for(sim, job)
+        stream = sim.stream(job, NurdPredictor(random_state=0))
+        refreshed_once = scored = 0
+        for tau in stream.checkpoints:
+            out = stream.step(tau)
+            if not out.scored:
+                # Skipped checkpoints consume no observations in either path.
+                continue
+            scored += 1
+            refreshed_once += out.refreshed_rows > 0
+            expected = sim.observed_features(job, float(tau), noise)
+            np.testing.assert_array_equal(stream.observed_features(), expected)
+        assert scored > 0 and refreshed_once > 0
+
+    def test_delta_path_touches_fewer_rows(self, google_trace):
+        """The incremental path must actually be incremental: total rows
+        refreshed stays well below a full per-checkpoint regeneration."""
+        job = google_trace[0]
+        sim = ReplaySimulator(n_checkpoints=12, random_state=9)
+        stream = sim.stream(job, NurdPredictor(random_state=0))
+        for tau in stream.checkpoints:
+            stream.step(tau)
+        full_cost = job.n_tasks * (stream.checkpoints.shape[0] + 1)
+        assert 0 < stream.refreshed_rows_total < 0.6 * full_cost
+
+
+class TestEdgeCaseParity:
+    def _job_with(self, features, latencies, starts=None, job_id="edge"):
+        names = [f"f{i}" for i in range(features.shape[1])]
+        return Job(job_id, features, latencies, names, starts)
+
+    def test_duplicate_tasks(self):
+        """Duplicated rows (identical features AND latencies) replay
+        identically down the incremental path."""
+        rng = np.random.default_rng(0)
+        X = rng.random((40, 4)) + 0.1
+        y = rng.lognormal(0.0, 0.8, 40) + 0.1
+        X = np.vstack([X, X[:10]])
+        y = np.concatenate([y, y[:10]])
+        job = self._job_with(X, y, job_id="dup")
+        sim = ReplaySimulator(n_checkpoints=8, random_state=2)
+        batch, inc = both_paths(sim, job, seed=0)
+        assert_replay_equal(batch, inc)
+
+    def test_zero_noise(self, google_trace):
+        job = google_trace[1]
+        sim = ReplaySimulator(n_checkpoints=8, feature_noise=0.0, random_state=0)
+        batch, inc = both_paths(sim, job, seed=1)
+        assert_replay_equal(batch, inc)
+        # With noise disabled the stream serves the exact feature matrix and
+        # refreshes nothing.
+        stream = sim.stream(job, NurdPredictor(random_state=1))
+        for tau in stream.checkpoints:
+            stream.step(tau)
+        assert stream.refreshed_rows_total == 0
+        assert stream.observed_features() is job.features
+
+    def test_staggered_starts(self):
+        rng = np.random.default_rng(4)
+        n = 60
+        y = rng.lognormal(0.0, 1.0, n) + 0.1
+        X = np.column_stack([y * (1 + 0.1 * rng.random(n)), rng.random(n)])
+        starts = rng.uniform(0.0, 0.5 * y.max(), n)
+        job = self._job_with(X, y, starts, job_id="staggered")
+        sim = ReplaySimulator(n_checkpoints=10, random_state=7)
+        batch, inc = both_paths(sim, job, seed=3)
+        assert_replay_equal(batch, inc)
+
+    def test_all_tasks_finish_at_warmup(self):
+        """Degenerate job: everything completes by the warmup instant, so no
+        checkpoint ever has running tasks and no flag is issued; the F1
+        accessors must stay well-defined (satellite of ISSUE 6)."""
+        y = np.full(20, 5.0)
+        X = np.column_stack([y, np.ones(20)])
+        job = self._job_with(X, y, job_id="all-at-warmup")
+        sim = ReplaySimulator(n_checkpoints=5, random_state=0)
+        batch, inc = both_paths(sim, job, seed=0)
+        assert_replay_equal(batch, inc)
+        assert not batch.y_flag.any()
+        assert np.isinf(batch.flag_times).all()
+        assert batch.f1 == 0.0
+        assert batch.f1_at_time(0.0) == 0.0
+        assert batch.f1_at_time(np.inf) == 0.0
+        curve = batch.streaming_f1(6)
+        assert curve.shape == (6,)
+        np.testing.assert_array_equal(curve, np.zeros(6))
+
+    def test_stream_rejects_backward_checkpoints(self, google_trace):
+        sim = ReplaySimulator(n_checkpoints=5, random_state=0)
+        stream = sim.stream(google_trace[0], NurdPredictor(random_state=0))
+        stream.step(stream.checkpoints[1])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            stream.step(stream.checkpoints[0])
+
+
+class TestServingLayerParity:
+    """Engine and async service are the same stream: unbudgeted == batch."""
+
+    def test_engine_unbudgeted_matches_batch(self, alibaba_trace):
+        sim = ReplaySimulator(n_checkpoints=8, random_state=0)
+        for i, job in enumerate(alibaba_trace):
+            batch = sim.run(job, NurdPredictor(random_state=i))
+            engine = ScoringEngine(
+                lambda i=i: NurdPredictor(random_state=i), simulator=sim
+            )
+            assert_replay_equal(batch, engine.run_job(job))
+
+    def test_service_matches_batch(self, google_trace):
+        sim = ReplaySimulator(n_checkpoints=6, random_state=0)
+        seeds = {job.job_id: i for i, job in enumerate(google_trace)}
+        batch = [
+            sim.run(job, NurdPredictor(random_state=seeds[job.job_id]))
+            for job in google_trace
+        ]
+
+        class _Factory:
+            """Service workers interleave jobs; seed by registration order."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self):
+                # ScorerService builds one predictor per BeginJob, in
+                # submission order; replay_trace submits trace order.
+                pred = NurdPredictor(random_state=self.calls)
+                self.calls += 1
+                return pred
+
+        async def run():
+            svc = ScorerService(
+                _Factory(),
+                simulator=sim,
+                config=ServiceConfig(n_workers=2, queue_depth=8),
+            )
+            await svc.start()
+            results = await svc.replay_trace(trace=google_trace)
+            await svc.stop()
+            return results
+
+        results = asyncio.run(run())
+        for b, r in zip(batch, results):
+            assert_replay_equal(b, r)
+
+
+class TestWarmPropensityEquivalence:
+    """Warm propensity continuation converges to the scratch-fit optimum
+    (strictly convex loss) — weights agree tightly when the solver
+    converges, and continuation takes fewer Newton iterations."""
+
+    def test_same_optimum_fewer_iterations(self):
+        from repro.core.propensity import PropensityScorer
+
+        rng = np.random.default_rng(0)
+        X_fin = rng.normal(0.0, 1.0, size=(80, 5))
+        X_run = rng.normal(0.8, 1.0, size=(60, 5))
+        cold = PropensityScorer(warm_start=False).fit(X_fin, X_run)
+        warm = PropensityScorer(warm_start=True).fit(X_fin, X_run)
+        # Drift the split by a handful of rows, as one checkpoint does.
+        X_fin2 = np.vstack([X_fin, X_run[:5]])
+        X_run2 = X_run[5:]
+        cold2 = PropensityScorer(warm_start=False).fit(X_fin2, X_run2)
+        warm.fit(X_fin2, X_run2)
+        assert cold2.model_.n_iter_ < cold2.model_.max_iter  # converged
+        assert warm.model_.n_iter_ < cold2.model_.n_iter_
+        grid = rng.normal(0.0, 1.2, size=(50, 5))
+        np.testing.assert_allclose(
+            warm.score(grid), cold2.score(grid), atol=1e-5
+        )
+        assert cold.model_.n_iter_ > 0
+
+    def test_partial_update_refreshes_propensity_only(self, google_trace):
+        job = google_trace[0]
+        sim = ReplaySimulator(n_checkpoints=6, random_state=0)
+        pred = NurdPredictor(random_state=0)
+        stream = sim.stream(job, pred)
+        taus = list(stream.checkpoints)
+        stream.step(taus[0])
+        h_before, g_before = pred.h_, pred.g_
+        # Drive the next checkpoint through the partial tier directly.
+        completion = job.completion_times
+        tau = taus[1]
+        finished = completion <= tau
+        running = (job.start_times <= tau) & ~finished & ~stream.flagged
+        pred.partial_update(
+            job.features[finished],
+            job.latencies[finished],
+            stream.observed_features()[running],
+        )
+        assert pred.h_ is h_before          # regressor untouched (cached)
+        assert pred.g_ is not g_before      # propensity refreshed

@@ -218,6 +218,58 @@ class TestTraceIo:
             np.testing.assert_allclose(a.latencies, b.latencies)
             assert a.feature_names == b.feature_names
 
+    def test_roundtrip_exact(self, tmp_path):
+        """repr-written floats reload bit-identically, adversarial values
+        included (subnormals, huge magnitudes, non-terminating binary
+        fractions)."""
+        rng = np.random.default_rng(11)
+        features = np.array(
+            [
+                [0.1, 1e-308, 1.7976931348623157e308],
+                [1 / 3, 2.220446049250313e-16, 0.30000000000000004],
+                [np.nextafter(1.0, 2.0), 5e-324, 123456789.123456789],
+            ]
+        )
+        latencies = np.array([0.1 + 0.2, np.pi, 1e-12])
+        starts = np.array([0.0, 1 / 7, 2.5000000000000004])
+        job = Job("j-exact", features, latencies, ["a", "b", "c"], starts)
+        noise = Job(
+            "j-noise",
+            rng.random((5, 3)),
+            rng.random(5) + 1e-9,
+            ["a", "b", "c"],
+            rng.random(5),
+        )
+        path = tmp_path / "exact.csv"
+        save_trace_csv(Trace(name="t", jobs=[job, noise]), path)
+        loaded = load_trace_csv(path)
+        for a, b in zip([job, noise], loaded):
+            np.testing.assert_array_equal(a.features, b.features)
+            np.testing.assert_array_equal(a.latencies, b.latencies)
+            np.testing.assert_array_equal(a.start_times, b.start_times)
+
+    def test_roundtrip_preserves_start_times(self, tmp_path, google_trace):
+        path = tmp_path / "starts.csv"
+        save_trace_csv(google_trace, path)
+        loaded = load_trace_csv(path)
+        for a, b in zip(google_trace, loaded):
+            np.testing.assert_array_equal(a.start_times, b.start_times)
+        assert any(j.start_times.max() > 0 for j in loaded)
+
+    def test_load_legacy_format_without_start_times(self, tmp_path):
+        p = tmp_path / "legacy.csv"
+        p.write_text("job_id,latency,f1,f2\nj,1.5,0.25,0.5\nj,2.5,0.75,1.0\n")
+        trace = load_trace_csv(p)
+        assert trace[0].feature_names == ["f1", "f2"]
+        np.testing.assert_array_equal(trace[0].latencies, [1.5, 2.5])
+        np.testing.assert_array_equal(trace[0].start_times, [0.0, 0.0])
+
+    def test_featureless_csv_rejected(self, tmp_path):
+        p = tmp_path / "nofeat.csv"
+        p.write_text("job_id,latency,start_time\nj,1.5,0.0\n")
+        with pytest.raises(ValueError, match="no feature columns"):
+            load_trace_csv(p)
+
     def test_empty_trace_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_trace_csv(Trace(name="x", jobs=[]), tmp_path / "x.csv")
