@@ -128,8 +128,10 @@ def _time_arm(cls, name: str, matrices, cached: bool, repeats: int):
     def sweep():
         t_fit = t_score = 0.0
         for X, n_fin in matrices:
-            # Mirror OutlierDetectorPredictor.update: a fresh cache scope
-            # per checkpoint refit.
+            # Cold cache per checkpoint refit: this benchmark measures one
+            # checkpoint's kernel cost, so cross-checkpoint reuse (which the
+            # content-keyed cache now provides in the harness) must not leak
+            # into the timing.
             clear_neighbor_cache()
             t0 = time.perf_counter()
             det = _fit_once(cls, name, X, n_fin)

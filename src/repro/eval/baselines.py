@@ -30,7 +30,6 @@ from repro.censored import CoxPHFitter, GrabitRegressor, TobitRegressor
 from repro.core.base import OnlineStragglerPredictor
 from repro.core.nurd import NurdNcPredictor, NurdPredictor
 from repro.learn.gbm import GradientBoostingRegressor
-from repro.learn.neighbors import clear_neighbor_cache
 from repro.learn.svm import LinearSVC
 from repro.outliers import ALL_DETECTORS
 from repro.pu import BaggingPuClassifier, ElkanNotoClassifier
@@ -94,10 +93,10 @@ class OutlierDetectorPredictor(OnlineStragglerPredictor):
         return cls(**kwargs)
 
     def update(self, X_fin, y_fin, X_run, elapsed_run=None) -> None:
-        # Each checkpoint fits on a fresh matrix; the previous checkpoint's
-        # cached KD-trees and neighbor lists can never be hit again, so drop
-        # them up front to keep long replays at constant cache footprint.
-        clear_neighbor_cache()
+        # No cache clear here: the shared NeighborCache is LRU-bounded (so
+        # long replays stay at constant footprint) and content-keyed, which
+        # lets *other* method replays of the same job hit this checkpoint's
+        # tree builds when the harness schedules them job-major.
         X_fin = np.asarray(X_fin, dtype=float)
         X_run = np.asarray(X_run, dtype=float)
         X_all = np.vstack([X_fin, X_run])

@@ -7,19 +7,37 @@ paper), so replays embarrassingly parallelize: pass ``n_workers > 1`` to
 process pool. Results are bit-identical to the serial path — each replay
 seeds its own simulator RNG and predictor from the job index, independent
 of execution order.
+
+At paper scale (1000+ jobs) the fan-out no longer pickles job arrays into
+every task. The trace is served from a columnar
+:class:`~repro.traces.io.TraceStore`: workers attach once to the
+memory-mapped store in their initializer (the OS page cache shares the
+bytes across processes) and each work unit carries only a job index. An
+in-memory :class:`~repro.traces.schema.Trace` is transparently spilled to
+a temporary store (``/dev/shm`` when available) for the run. Work units
+are job-major — one unit replays *all* methods for one job against a
+shared :class:`~repro.sim.replay.CheckpointPlan` — and are streamed into
+the pool through a bounded submission window, so neither the task queue
+nor the result backlog ever holds the whole trace. ``fan_out="pickle"``
+keeps the legacy per-task-pickling arm for comparison.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.eval.baselines import build_predictor
 from repro.sim.replay import ReplayResult, ReplaySimulator
 from repro.sim.scheduler import jct_reduction
+from repro.traces.io import TraceStore, save_trace_npz
 from repro.traces.schema import Job, Trace
 
 
@@ -119,84 +137,243 @@ class MethodResult:
         }
 
 
-def _replay_one(task: Tuple[Job, str, EvaluationConfig, int]) -> ReplayResult:
-    """Replay one (job, method) pair — the unit of parallel work.
+@dataclass
+class ReplayProgress:
+    """One completed (method, job) replay, reported as the run advances.
 
-    Module-level so it pickles into worker processes; builds the predictor
-    and simulator inside the worker, which keeps payloads small and makes
-    parallel results bit-identical to serial ones.
+    ``n_total`` is ``None`` when the job source has no known length (a bare
+    generator evaluated serially).
     """
-    job, method, config, job_index = task
-    sim = config.make_simulator()
-    predictor = build_predictor(
-        method,
-        contamination=config.contamination,
-        random_state=config.random_state + job_index,
-        alpha=config.alpha,
-        eps=config.eps,
-        method_params=config.method_params,
-    )
-    if getattr(predictor, "needs_offline_labels", False):
-        predictor.fit_offline(
-            job.features, job.straggler_mask(config.straggler_percentile)
-        )
-    return sim.run(job, predictor)
+
+    method: str
+    job_id: str
+    job_index: int
+    n_done: int
+    n_total: Optional[int]
 
 
-def _run_tasks(
-    tasks: List[Tuple[Job, str, EvaluationConfig, int]],
-    n_workers: Optional[int],
+#: Per-worker handle on the shared trace store, opened once by the pool
+#: initializer so every work unit carries only a job index. The mmap'd
+#: column bytes live in the OS page cache, shared across all workers.
+_WORKER_STORE: Optional[TraceStore] = None
+
+
+def _worker_attach(store_path: str) -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = TraceStore(store_path)
+
+
+def _replay_job(
+    job: Job, methods: Tuple[str, ...], config: EvaluationConfig, job_index: int
 ) -> List[ReplayResult]:
-    """Run replay tasks serially or over a process pool, preserving order."""
-    if n_workers is None or n_workers <= 1 or len(tasks) <= 1:
-        return [_replay_one(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_replay_one, tasks))
+    """Replay every method over one job — the unit of parallel work.
+
+    All methods share one :class:`CheckpointPlan` (the grid, noise draw and
+    observed matrices are method-independent), so per-job setup runs once
+    rather than once per method. Each method still gets a fresh predictor
+    seeded from the job index, which keeps results bit-identical to the
+    serial, plan-less path regardless of scheduling.
+    """
+    sim = config.make_simulator()
+    plan = sim.plan(job)
+    out: List[ReplayResult] = []
+    for method in methods:
+        predictor = build_predictor(
+            method,
+            contamination=config.contamination,
+            random_state=config.random_state + job_index,
+            alpha=config.alpha,
+            eps=config.eps,
+            method_params=config.method_params,
+        )
+        if getattr(predictor, "needs_offline_labels", False):
+            predictor.fit_offline(
+                job.features, job.straggler_mask(config.straggler_percentile)
+            )
+        out.append(sim.run(job, predictor, plan=plan))
+    return out
+
+
+def _replay_unit(
+    unit: Tuple[Optional[Job], Tuple[str, ...], EvaluationConfig, int]
+) -> List[ReplayResult]:
+    """Resolve a work unit's job (store index or pickled payload) and replay."""
+    job, methods, config, job_index = unit
+    if job is None:
+        job = _WORKER_STORE.job(job_index)
+    return _replay_job(job, methods, config, job_index)
+
+
+def _iter_bounded(pool, fn, units, window: int) -> Iterator:
+    """``pool.map`` with a bounded, order-preserving submission window.
+
+    At most ``window`` futures are outstanding, so streaming a 1000-job
+    trace never materializes the full task queue (or, with pickle fan-out,
+    all job payloads) up front.
+    """
+    pending: deque = deque()
+    for unit in units:
+        pending.append(pool.submit(fn, unit))
+        if len(pending) >= window:
+            yield pending.popleft().result()
+    while pending:
+        yield pending.popleft().result()
+
+
+def _spill_to_store(jobs) -> Path:
+    """Write jobs to a temporary columnar store for shared-memory fan-out.
+
+    Prefers ``/dev/shm`` (RAM-backed tmpfs: worker mmaps never touch disk);
+    falls back to the regular temp dir.
+    """
+    shm = Path("/dev/shm")
+    base = shm if shm.is_dir() and os.access(shm, os.W_OK) else None
+    fd, name = tempfile.mkstemp(
+        prefix="repro-trace-", suffix=".npz", dir=base and str(base)
+    )
+    os.close(fd)
+    path = Path(name)
+    try:
+        save_trace_npz(jobs, path)
+    except BaseException:
+        path.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def _evaluate(
+    trace: Union[Trace, TraceStore, Iterable[Job]],
+    methods: List[str],
+    config: EvaluationConfig,
+    n_workers: Optional[int],
+    fan_out: str,
+    progress: Optional[Callable[[ReplayProgress], None]],
+) -> Dict[str, List[ReplayResult]]:
+    """Core job-major evaluation loop shared by the public entry points."""
+    if fan_out not in ("auto", "store", "pickle"):
+        raise ValueError("fan_out must be 'auto', 'store' or 'pickle'.")
+    method_tuple = tuple(methods)
+    per_method: Dict[str, List[ReplayResult]] = {m: [] for m in methods}
+    try:
+        n_jobs: Optional[int] = len(trace)  # type: ignore[arg-type]
+    except TypeError:
+        n_jobs = None
+    n_total = None if n_jobs is None else n_jobs * len(methods)
+    n_done = 0
+
+    def emit(job_index: int, results: List[ReplayResult]) -> None:
+        nonlocal n_done
+        for method, result in zip(methods, results):
+            per_method[method].append(result)
+            n_done += 1
+            if progress is not None:
+                progress(
+                    ReplayProgress(
+                        method=method,
+                        job_id=result.job_id,
+                        job_index=job_index,
+                        n_done=n_done,
+                        n_total=n_total,
+                    )
+                )
+
+    serial = n_workers is None or n_workers <= 1 or (n_jobs or 2) <= 1
+    if serial:
+        source = trace.iter_jobs() if hasattr(trace, "iter_jobs") else iter(trace)
+        for i, job in enumerate(source):
+            emit(i, _replay_job(job, method_tuple, config, i))
+        return per_method
+
+    window = max(2, 2 * n_workers)
+    store_path: Optional[Path] = None
+    spilled = False
+    if isinstance(trace, TraceStore):
+        store_path = trace.path
+    elif fan_out != "pickle":
+        try:
+            store_path = _spill_to_store(trace)
+            spilled = True
+        except ValueError:
+            # Jobs the columnar store cannot hold (heterogeneous schemas,
+            # empty jobs): only the legacy arm can ship them.
+            if fan_out == "store":
+                raise
+    try:
+        if store_path is not None:
+            if spilled or n_jobs is None:
+                with TraceStore(store_path, mmap=False) as meta:
+                    n_jobs = meta.n_jobs
+                n_total = n_jobs * len(methods)
+            units = (
+                (None, method_tuple, config, i) for i in range(n_jobs)
+            )
+            pool_kwargs = {
+                "initializer": _worker_attach,
+                "initargs": (str(store_path),),
+            }
+        else:
+            units = (
+                (job, method_tuple, config, i) for i, job in enumerate(trace)
+            )
+            pool_kwargs = {}
+        with ProcessPoolExecutor(max_workers=n_workers, **pool_kwargs) as pool:
+            for i, results in enumerate(
+                _iter_bounded(pool, _replay_unit, units, window)
+            ):
+                emit(i, results)
+    finally:
+        if spilled and store_path is not None:
+            store_path.unlink(missing_ok=True)
+    return per_method
 
 
 def evaluate_method(
-    trace: Trace,
+    trace: Union[Trace, TraceStore, Iterable[Job]],
     method: str,
     config: Optional[EvaluationConfig] = None,
     n_workers: Optional[int] = None,
+    fan_out: str = "auto",
+    progress: Optional[Callable[[ReplayProgress], None]] = None,
 ) -> MethodResult:
     """Replay every job of ``trace`` through ``method`` and collect results.
 
     A fresh predictor is built per job (the paper trains a unique model per
     job); Wrangler additionally receives its offline labeled sample.
-    ``n_workers > 1`` distributes jobs over a process pool.
+    ``trace`` may be an in-memory :class:`Trace`, a memory-mapped
+    :class:`TraceStore`, or any iterable of jobs. ``n_workers > 1``
+    distributes jobs over a process pool; workers attach to the store by
+    path (an in-memory trace is spilled to a temporary store first) unless
+    ``fan_out="pickle"`` requests the legacy per-task job pickling.
+    ``progress`` is called in the parent after each completed replay.
     """
     config = config or EvaluationConfig()
-    tasks = [(job, method, config, i) for i, job in enumerate(trace)]
-    return MethodResult(method=method, replays=_run_tasks(tasks, n_workers))
+    per_method = _evaluate(trace, [method], config, n_workers, fan_out, progress)
+    return MethodResult(method=method, replays=per_method[method])
 
 
 def evaluate_all(
-    trace: Trace,
+    trace: Union[Trace, TraceStore, Iterable[Job]],
     methods: Iterable[str],
     config: Optional[EvaluationConfig] = None,
     verbose: bool = False,
     n_workers: Optional[int] = None,
+    fan_out: str = "auto",
+    progress: Optional[Callable[[ReplayProgress], None]] = None,
 ) -> Dict[str, MethodResult]:
     """Evaluate several methods on the same trace (same simulator seed).
 
-    With ``n_workers > 1`` every (method, job) pair is an independent unit
-    scheduled on one shared pool, so slow methods don't serialize behind
-    fast ones.
+    Work is job-major: one unit replays all methods for one job, sharing
+    the job's checkpoint plan (grid, noise, observed features) across
+    methods. With ``n_workers > 1`` units stream through one shared pool
+    behind a bounded submission window; see :func:`evaluate_method` for
+    ``fan_out`` and ``progress``.
     """
     config = config or EvaluationConfig()
     methods = list(methods)
-    jobs = list(trace)
-    tasks = [
-        (job, method, config, i)
-        for method in methods
-        for i, job in enumerate(jobs)
-    ]
-    replays = _run_tasks(tasks, n_workers)
+    per_method = _evaluate(trace, methods, config, n_workers, fan_out, progress)
     out: Dict[str, MethodResult] = {}
-    for m_idx, method in enumerate(methods):
-        chunk = replays[m_idx * len(jobs) : (m_idx + 1) * len(jobs)]
-        out[method] = MethodResult(method=method, replays=chunk)
+    for method in methods:
+        out[method] = MethodResult(method=method, replays=per_method[method])
         if verbose:
             r = out[method]
             print(

@@ -6,14 +6,18 @@ Besides the :class:`NearestNeighbors` estimator this module hosts a small
 process-local :class:`NeighborCache`. Every unsupervised detector refit on a
 replay checkpoint queries the *same* feature matrix — often several times
 (once while fitting, once while scoring the training data, and LSCP's LOF
-pool repeats the whole exercise per pool member). The cache keys tree builds
-and raw kNN query results on array identity so that all of those consumers
-share one KD-tree and one sorted neighbor list per matrix; narrower queries
-slice the widest cached result instead of hitting the tree again.
+pool repeats the whole exercise per pool member), and every *method* replayed
+on the same job sees bitwise-equal checkpoint matrices (one simulator seed
+per job). The cache keys tree builds on array **content** and raw kNN query
+results on array identity, so all of those consumers share one KD-tree and
+one sorted neighbor list per matrix — across detectors within a checkpoint
+and across method replays within a worker — and narrower queries slice the
+widest cached result instead of hitting the tree again.
 """
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -27,52 +31,93 @@ from repro.utils.validation import check_array, check_is_fitted
 
 
 class NeighborCache:
-    """Identity-keyed cache of KD-trees and raw kNN query results.
+    """Content-keyed KD-tree cache plus identity-keyed kNN query cache.
 
-    Entries are keyed on ``id()`` of the participating arrays and guarded by
-    weak references: a hit requires the cached reference to still point at
-    the *same live object*, so recycled ids or garbage-collected matrices can
-    never alias. Query results are cached at the widest ``k`` requested so
-    far for a (train, query) pair; narrower requests return slices (neighbor
-    lists are sorted by distance, so a prefix of a wider query *is* the
-    narrower query) — **unless** an exact distance tie straddles the cut, in
-    which case the tied membership of a direct ``k`` query is not determined
-    by the wider result and the cache falls back to querying the tree, so a
-    served result is always bit-identical to what an uncached
-    ``tree.query(X, k)`` returns regardless of cache state.
+    **Trees** are keyed on array *content* (shape + dtype + BLAKE2 digest,
+    with an exact ``np.array_equal`` guard against digest collisions, so a
+    served tree is always a tree over bit-identical data). An identity
+    side-index makes repeated lookups of the same live object skip the
+    hashing. Content keying is what lets independent replays share builds:
+    every method replaying the same job sees bitwise-equal observation
+    matrices at the same checkpoint (same simulator seed), so a worker
+    processing a job-major chunk builds each checkpoint's tree once per
+    *(job, checkpoint)* rather than once per method — the cross-task reuse
+    the paper-scale harness schedules for.
+
+    **Query results** are keyed on ``id()`` of the participating arrays and
+    guarded by weak references: a hit requires the cached reference to still
+    point at the *same live object*, so recycled ids or garbage-collected
+    matrices can never alias. Results are cached at the widest ``k``
+    requested so far for a (train, query) pair; narrower requests return
+    slices (neighbor lists are sorted by distance, so a prefix of a wider
+    query *is* the narrower query) — **unless** an exact distance tie
+    straddles the cut, in which case the tied membership of a direct ``k``
+    query is not determined by the wider result and the cache falls back to
+    querying the tree, so a served result is always bit-identical to what an
+    uncached ``tree.query(X, k)`` returns regardless of cache state.
 
     Returned arrays are read-only views of cache storage; callers that want
     to modify them must copy (in-place writes would otherwise corrupt every
     later hit).
 
     The cache is process-local (each ``evaluate_all`` worker owns one) and
-    LRU-bounded, so memory stays proportional to a handful of
-    checkpoint-sized matrices.
+    LRU-bounded — tree entries pin their arrays, so memory stays
+    proportional to ``max_trees`` checkpoint-sized matrices.
     """
 
     def __init__(self, max_trees: int = 8, max_queries: int = 32):
         self.max_trees = max_trees
         self.max_queries = max_queries
-        self._trees: OrderedDict = OrderedDict()
+        self._trees: OrderedDict = OrderedDict()      # content key -> (X, tree)
+        self._tree_ids: OrderedDict = OrderedDict()   # id(X) -> (weakref, key)
         self._queries: OrderedDict = OrderedDict()
         self.tree_hits = 0
         self.tree_misses = 0
+        #: KD-trees actually constructed (the regression-test counter:
+        #: equal-valued matrices must not rebuild).
+        self.tree_builds = 0
+        #: Hits served to a *different* array object with equal content.
+        self.tree_value_hits = 0
         self.query_hits = 0
         self.query_misses = 0
 
     # -- trees ----------------------------------------------------------
+    @staticmethod
+    def _content_key(X: np.ndarray) -> Tuple:
+        data = X if X.flags["C_CONTIGUOUS"] else np.ascontiguousarray(X)
+        digest = hashlib.blake2b(data.data, digest_size=16).digest()
+        return (X.shape, X.dtype.str, digest)
+
+    def _remember_identity(self, X: np.ndarray, key: Tuple) -> None:
+        self._tree_ids[id(X)] = (weakref.ref(X), key)
+        self._tree_ids.move_to_end(id(X))
+        while len(self._tree_ids) > 4 * self.max_trees:
+            self._tree_ids.popitem(last=False)
+
     def tree(self, X: np.ndarray) -> cKDTree:
-        """Return a (possibly shared) cKDTree over ``X``."""
-        key = id(X)
+        """Return a (possibly shared) cKDTree over data equal to ``X``."""
+        ident = self._tree_ids.get(id(X))
+        if ident is not None and ident[0]() is X:
+            entry = self._trees.get(ident[1])
+            if entry is not None:
+                self.tree_hits += 1
+                self._trees.move_to_end(ident[1])
+                return entry[1]
+        key = self._content_key(X)
         entry = self._trees.get(key)
-        if entry is not None and entry[0]() is X:
+        if entry is not None and np.array_equal(entry[0], X):
             self.tree_hits += 1
+            if entry[0] is not X:
+                self.tree_value_hits += 1
             self._trees.move_to_end(key)
+            self._remember_identity(X, key)
             return entry[1]
         self.tree_misses += 1
+        self.tree_builds += 1
         tree = cKDTree(X)
-        self._trees[key] = (weakref.ref(X), tree)
+        self._trees[key] = (X, tree)
         self._trees.move_to_end(key)
+        self._remember_identity(X, key)
         while len(self._trees) > self.max_trees:
             self._trees.popitem(last=False)
         return tree
@@ -114,6 +159,7 @@ class NeighborCache:
 
     def clear(self) -> None:
         self._trees.clear()
+        self._tree_ids.clear()
         self._queries.clear()
 
 

@@ -101,6 +101,62 @@ class ReplayResult:
         return np.array([self.f1_at_time(t) for t in taus])
 
 
+class CheckpointPlan:
+    """Method-independent replay state for one job, shareable across methods.
+
+    The simulator seeds its RNG per run from ``random_state`` — not per
+    method — so every predictor replaying the same job consumes the same
+    checkpoint grid, the same observation-noise draw, and therefore the same
+    observed feature matrix at each checkpoint. A plan computes the grid and
+    noise once and lazily caches each checkpoint's observed matrix the first
+    time any method asks for it; replaying the next method against the same
+    plan reuses them all.
+
+    Build with :meth:`ReplaySimulator.plan` and pass to
+    :meth:`ReplaySimulator.run` via ``plan=``. Running with a plan is
+    bit-identical to running without one (enforced by
+    ``tests/test_trace_store.py``). Cached matrices are frozen read-only;
+    the boolean-mask slices ``run`` hands predictors are copies, so sharing
+    is invisible to them.
+    """
+
+    def __init__(
+        self, sim: "ReplaySimulator", job: Job, tau_stra: Optional[float] = None
+    ):
+        self.sim = sim
+        self.job = job
+        # Same RNG consumption order as a plan-less run: seed, grid, noise.
+        rng = check_random_state(sim.random_state)
+        self.grid = sim.checkpoint_grid(job)
+        self.noise_matrix = rng.normal(0.0, 1.0, size=job.features.shape)
+        if tau_stra is None:
+            tau_stra = job.straggler_threshold(sim.straggler_percentile)
+        self.tau_stra = float(tau_stra)
+        self._observed: Dict[float, np.ndarray] = {}
+
+    @property
+    def warmup_time(self) -> float:
+        return float(self.grid[0])
+
+    @property
+    def checkpoints(self) -> np.ndarray:
+        return self.grid[1:]
+
+    def observed(self, tau: float) -> np.ndarray:
+        """Observed features at ``tau``; computed once, then served frozen."""
+        key = float(tau)
+        X = self._observed.get(key)
+        if X is None:
+            X = self.sim.observed_features(self.job, key, self.noise_matrix)
+            if X is self.job.features:
+                # Noise disabled: the job's own (writable) matrix is returned
+                # as-is; nothing to cache or freeze.
+                return X
+            X.setflags(write=False)
+            self._observed[key] = X
+        return X
+
+
 class ReplaySimulator:
     """Replays a job's execution for an online straggler predictor.
 
@@ -203,23 +259,38 @@ class ReplaySimulator:
         return np.maximum(X, 0.0)
 
     # ------------------------------------------------------------------
+    def plan(self, job: Job, tau_stra: Optional[float] = None) -> CheckpointPlan:
+        """Precompute the method-independent replay state for ``job``.
+
+        Pass the plan to :meth:`run` for every method replaying this job so
+        the checkpoint grid, noise draw and observed matrices are computed
+        once rather than once per method.
+        """
+        return CheckpointPlan(self, job, tau_stra=tau_stra)
+
     def run(
         self,
         job: Job,
         predictor: OnlineStragglerPredictor,
         tau_stra: Optional[float] = None,
+        plan: Optional[CheckpointPlan] = None,
     ) -> ReplayResult:
         """Replay ``job`` through ``predictor`` and score the outcome."""
-        rng = check_random_state(self.random_state)
+        if plan is None:
+            plan = self.plan(job, tau_stra=tau_stra)
+        elif plan.job is not job:
+            raise ValueError(
+                f"plan was built for job {plan.job.job_id!r}, not "
+                f"{job.job_id!r}; plans are per-job."
+            )
         n = job.n_tasks
         y = job.latencies
         starts = job.start_times
         completion = job.completion_times
         if tau_stra is None:
-            tau_stra = job.straggler_threshold(self.straggler_percentile)
-        grid = self.checkpoint_grid(job)
+            tau_stra = plan.tau_stra
+        grid = plan.grid
         warmup_time, checkpoints = grid[0], grid[1:]
-        noise_matrix = rng.normal(0.0, 1.0, size=job.features.shape)
 
         finished = completion <= warmup_time
         if not finished.any():
@@ -228,7 +299,7 @@ class ReplaySimulator:
         flagged = np.zeros(n, dtype=bool)
         flag_times = np.full(n, np.inf)
 
-        X0 = self.observed_features(job, warmup_time, noise_matrix)
+        X0 = plan.observed(warmup_time)
         running0 = (starts <= warmup_time) & ~finished & ~flagged
         if running0.any():
             predictor.begin_job(
@@ -246,7 +317,7 @@ class ReplaySimulator:
                 continue
             if not running.any():
                 continue
-            X_tau = self.observed_features(job, tau, noise_matrix)
+            X_tau = plan.observed(tau)
             # Finished tasks' metrics are final; use exact features for them.
             X_fin = job.features[finished]
             y_fin = y[finished]

@@ -25,9 +25,11 @@ Latency families reproduce the paper's Figure 1 dichotomy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.traces.schema import Job
 
 #: Latency distribution families available to jobs (paper Fig. 1 shows both
 #: tail shapes occur in production).
@@ -405,3 +407,39 @@ def generate_job_arrays(
     X = X * scale[:, None]
     starts = sample_start_times(n_tasks, latencies, profile, rng)
     return X, latencies, starts, profile
+
+
+def stream_trace_jobs(
+    schema: str,
+    n_jobs: int,
+    task_range: Tuple[int, int],
+    rng: np.random.Generator,
+    feature_names: List[str],
+    profile_overrides: Optional[Dict] = None,
+) -> Iterator[Job]:
+    """Yield a trace's jobs one at a time (shared generator back end).
+
+    Consumes ``rng`` in exactly the order the eager ``generate()`` loops
+    always did, so ``list(stream_trace_jobs(...))`` reproduces the batch
+    trace bit-for-bit — which is what lets 1000+-job traces stream straight
+    into :func:`repro.traces.io.save_trace_npz` without a materialized
+    :class:`~repro.traces.schema.Trace` ever existing.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1.")
+    lo, hi = task_range
+    if lo < 2 or hi < lo:
+        raise ValueError(f"invalid task_range {task_range}.")
+    for j in range(n_jobs):
+        n_tasks = int(rng.integers(lo, hi + 1))
+        X, y, starts, prof = generate_job_arrays(
+            n_tasks, schema, rng, profile_overrides=profile_overrides
+        )
+        yield Job(
+            job_id=f"{schema}-job-{j:05d}",
+            features=X,
+            latencies=y,
+            feature_names=list(feature_names),
+            start_times=starts,
+            meta=dict(prof),
+        )

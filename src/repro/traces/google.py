@@ -9,11 +9,15 @@ paper's Figure 1 documents. Defaults are laptop-scale; raise ``n_jobs`` /
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 
 from repro.learn.base import BaseEstimator
-from repro.traces.generator import generate_job_arrays, sample_job_profile
+from repro.traces.generator import (
+    generate_job_arrays,
+    sample_job_profile,
+    stream_trace_jobs,
+)
 from repro.traces.schema import GOOGLE_FEATURES, Job, Trace
 from repro.utils.validation import check_random_state
 
@@ -67,29 +71,25 @@ class GoogleTraceGenerator(BaseEstimator):
             meta=dict(prof),
         )
 
+    def iter_jobs(self) -> Iterator[Job]:
+        """Stream the trace's jobs one at a time.
+
+        Bit-identical to ``generate()`` (same RNG stream), but nothing is
+        retained between yields — pipe it into
+        :func:`repro.traces.io.save_trace_npz` to export 1000+-job traces
+        without a fully materialized :class:`Trace`.
+        """
+        return stream_trace_jobs(
+            self.schema,
+            self.n_jobs,
+            self.task_range,
+            check_random_state(self.random_state),
+            self.feature_names,
+        )
+
     def generate(self) -> Trace:
         """Generate the full trace."""
-        if self.n_jobs < 1:
-            raise ValueError("n_jobs must be >= 1.")
-        lo, hi = self.task_range
-        if lo < 2 or hi < lo:
-            raise ValueError(f"invalid task_range {self.task_range}.")
-        rng = check_random_state(self.random_state)
-        jobs = []
-        for j in range(self.n_jobs):
-            n_tasks = int(rng.integers(lo, hi + 1))
-            X, y, starts, prof = generate_job_arrays(n_tasks, self.schema, rng)
-            jobs.append(
-                Job(
-                    job_id=f"{self.schema}-job-{j:05d}",
-                    features=X,
-                    latencies=y,
-                    feature_names=self.feature_names,
-                    start_times=starts,
-                    meta=dict(prof),
-                )
-            )
-        return Trace(name=self.schema, jobs=jobs)
+        return Trace(name=self.schema, jobs=list(self.iter_jobs()))
 
     def generate_job_with_family(self, job_id: str, family: str, n_tasks: int) -> Job:
         """Generate a job with a forced latency family (used by Fig. 1).

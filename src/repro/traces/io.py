@@ -1,28 +1,70 @@
-"""Trace persistence: one CSV per trace, self-describing header.
+"""Trace persistence: row-oriented CSV and a columnar memory-mapped store.
 
-Format: columns ``job_id, latency, start_time, <feature...>`` — the same
-flat layout the public Google/Alibaba trace dumps use after joining task
-events with usage tables, so a user can load the *real* traces into
-:class:`repro.traces.Trace` by converting them to this CSV. Floats are
-written with ``repr``, which NumPy round-trips exactly, so save → load is
-bit-identical. Files written before the ``start_time`` column existed (no
-``start_time`` header) still load, with all tasks starting at time 0.
+Two formats, exact parity between them:
+
+**CSV** (``save_trace_csv`` / ``load_trace_csv``): columns ``job_id,
+latency, start_time, <feature...>`` — the same flat layout the public
+Google/Alibaba trace dumps use after joining task events with usage tables,
+so a user can load the *real* traces into :class:`repro.traces.Trace` by
+converting them to this CSV. Floats are written with ``repr``, which NumPy
+round-trips exactly, so save → load is bit-identical. Files written before
+the ``start_time`` column existed (no ``start_time`` header) still load,
+with all tasks starting at time 0.
+
+**Columnar npz** (``save_trace_npz`` / :class:`TraceStore` /
+``load_trace_npz``): one uncompressed ``.npz`` holding the whole trace as
+flat float64 columns (``features`` ``(N, d)``, ``latency`` ``(N,)``,
+``start_time`` ``(N,)``) plus a per-job offset index. Because ``np.savez``
+stores members without compression, :class:`TraceStore` memory-maps the
+array payloads in place — opening a multi-GB trace costs a few metadata
+reads, jobs materialize lazily as read-only views, and every process that
+maps the same file shares one page-cache copy (the paper-scale fan-out in
+:mod:`repro.eval.harness` relies on this). Binary float64 storage makes the
+npz round trip trivially bit-exact, matching the CSV ``repr`` guarantee.
+The file stays a perfectly ordinary npz: ``np.load`` reads it anywhere, and
+compressed or foreign npz files fall back to an eager (non-mapped) load.
 """
 
 from __future__ import annotations
 
+import ast
 import csv
+import warnings
+import zipfile
 from collections import defaultdict
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.traces.schema import Job, Trace
 
+#: Version tag written into every columnar store (bump on layout changes).
+TRACE_STORE_VERSION = 1
+
+#: Estimated CSV size (bytes) above which ``save_trace_csv`` warns that the
+#: columnar store is the right format. ~100MB of repr floats is minutes of
+#: csv-module churn and a 3x size blowup over binary float64.
+CSV_SIZE_WARN_BYTES = 100 * 1024 * 1024
+
+#: Rough bytes per CSV cell (repr of a float64 averages ~18 chars + comma).
+_CSV_BYTES_PER_CELL = 19
+
+#: Rows per ``writerows`` batch in the buffered CSV writer.
+_CSV_BUFFER_ROWS = 4096
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
 
 def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
-    """Write the trace to ``path`` as CSV."""
+    """Write the trace to ``path`` as CSV (buffered, exact ``repr`` floats).
+
+    Emits a :class:`UserWarning` when the estimated file size exceeds
+    :data:`CSV_SIZE_WARN_BYTES` — at that scale :func:`save_trace_npz` is
+    both smaller (binary) and loadable without parsing.
+    """
     path = Path(path)
     if not trace.jobs:
         raise ValueError("cannot save an empty trace.")
@@ -33,19 +75,36 @@ def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
                 f"job {job.job_id} has a different feature schema; traces "
                 "must be homogeneous."
             )
+    n_cells = trace.n_tasks * (len(feature_names) + 3)
+    est_bytes = n_cells * _CSV_BYTES_PER_CELL
+    if est_bytes > CSV_SIZE_WARN_BYTES:
+        warnings.warn(
+            f"trace {trace.name!r} is ~{est_bytes / 1e6:.0f}MB as CSV "
+            f"({trace.n_tasks} tasks x {len(feature_names) + 3} columns); "
+            "use save_trace_npz for traces this large (binary columnar "
+            "store, memory-mappable, ~3x smaller).",
+            UserWarning,
+            stacklevel=2,
+        )
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["job_id", "latency", "start_time", *feature_names])
+        buffer: List[list] = []
         for job in trace.jobs:
+            job_id = job.job_id
+            latencies = job.latencies
+            starts = job.start_times
+            features = job.features
             for i in range(job.n_tasks):
-                writer.writerow(
-                    [
-                        job.job_id,
-                        repr(float(job.latencies[i])),
-                        repr(float(job.start_times[i])),
-                    ]
-                    + [repr(float(v)) for v in job.features[i]]
+                buffer.append(
+                    [job_id, repr(float(latencies[i])), repr(float(starts[i]))]
+                    + [repr(float(v)) for v in features[i]]
                 )
+                if len(buffer) >= _CSV_BUFFER_ROWS:
+                    writer.writerows(buffer)
+                    buffer.clear()
+        if buffer:
+            writer.writerows(buffer)
 
 
 def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
@@ -84,3 +143,329 @@ def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
             )
         )
     return Trace(name=name or path.stem, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Columnar npz store
+# ---------------------------------------------------------------------------
+
+def save_trace_npz(
+    trace: Union[Trace, Iterable[Job]],
+    path: Union[str, Path],
+    name: Optional[str] = None,
+) -> Path:
+    """Write a trace to ``path`` as a columnar, memory-mappable ``.npz``.
+
+    ``trace`` may be a :class:`~repro.traces.schema.Trace` or any iterable
+    of :class:`~repro.traces.schema.Job` — e.g. a generator's
+    ``iter_jobs()`` stream, so a 1000+-job trace is exported without ever
+    materializing all Job objects at once (only the flat numeric columns
+    accumulate, which is the data itself).
+
+    The layout is strictly columnar: per-task columns are concatenated
+    across jobs in iteration order and a ``job_offsets`` index (length
+    ``n_jobs + 1``) records each job's ``[start, stop)`` row range.
+    ``meta`` dicts are not persisted (same as the CSV format).
+    """
+    path = Path(path)
+    if isinstance(trace, Trace):
+        if name is None:
+            name = trace.name
+        jobs: Iterable[Job] = trace.jobs
+    else:
+        jobs = trace
+
+    feature_names: Optional[List[str]] = None
+    feature_chunks: List[np.ndarray] = []
+    latency_chunks: List[np.ndarray] = []
+    start_chunks: List[np.ndarray] = []
+    job_ids: List[str] = []
+    counts: List[int] = []
+    for job in jobs:
+        if job.n_tasks == 0:
+            raise ValueError(f"job {job.job_id} is empty; cannot save it.")
+        if feature_names is None:
+            feature_names = list(job.feature_names)
+        elif job.feature_names != feature_names:
+            raise ValueError(
+                f"job {job.job_id} has a different feature schema; traces "
+                "must be homogeneous."
+            )
+        feature_chunks.append(np.asarray(job.features, dtype=np.float64))
+        latency_chunks.append(np.asarray(job.latencies, dtype=np.float64))
+        start_chunks.append(np.asarray(job.start_times, dtype=np.float64))
+        job_ids.append(str(job.job_id))
+        counts.append(job.n_tasks)
+    if not job_ids:
+        raise ValueError("cannot save an empty trace.")
+
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    arrays = {
+        "features": np.concatenate(feature_chunks, axis=0),
+        "latency": np.concatenate(latency_chunks),
+        "start_time": np.concatenate(start_chunks),
+        "job_offsets": offsets,
+        "job_ids": np.asarray(job_ids),
+        "feature_names": np.asarray(feature_names),
+        "trace_name": np.asarray(name or path.stem),
+        "store_version": np.asarray(TRACE_STORE_VERSION, dtype=np.int64),
+    }
+    # Write through a file object so numpy cannot append a second ".npz".
+    with path.open("wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def _parse_npy_header(fh) -> tuple:
+    """Parse an npy header from ``fh``; returns (dtype, shape, order, size).
+
+    Hand-rolled (the format is tiny and frozen) so no private numpy API is
+    needed. ``size`` is the total header length including magic, i.e. the
+    array payload starts ``size`` bytes after the header's first byte.
+    """
+    start = fh.tell()
+    magic = fh.read(8)
+    if magic[:6] != b"\x93NUMPY":
+        raise ValueError("not an npy member.")
+    major = magic[6]
+    if major == 1:
+        (hlen,) = np.frombuffer(fh.read(2), dtype="<u2")
+    else:
+        (hlen,) = np.frombuffer(fh.read(4), dtype="<u4")
+    header = ast.literal_eval(fh.read(int(hlen)).decode("latin1"))
+    dtype = np.dtype(header["descr"])
+    order = "F" if header["fortran_order"] else "C"
+    return dtype, tuple(header["shape"]), order, fh.tell() - start
+
+
+def _mmap_npz_columns(path: Path, columns) -> Optional[dict]:
+    """Memory-map the named members of an *uncompressed* npz in place.
+
+    Returns ``{member_name: read-only np.memmap}``, or ``None`` when any
+    requested member is compressed or otherwise unmappable (the caller then
+    falls back to an eager ``np.load``). Mapped arrays share pages across
+    processes via the OS page cache — this is the zero-copy worker-attach
+    path.
+    """
+    members = {}
+    try:
+        with zipfile.ZipFile(path) as zf, path.open("rb") as fh:
+            names = set(zf.namelist())
+            for column in columns:
+                member = f"{column}.npy"
+                if member not in names:
+                    continue
+                zinfo = zf.getinfo(member)
+                if zinfo.compress_type != zipfile.ZIP_STORED:
+                    return None
+                fh.seek(zinfo.header_offset)
+                local = fh.read(30)
+                if local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                data_off = zinfo.header_offset + 30 + name_len + extra_len
+                fh.seek(data_off)
+                dtype, shape, order, header_size = _parse_npy_header(fh)
+                if dtype.hasobject:
+                    return None
+                members[column] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=data_off + header_size,
+                    shape=shape,
+                    order=order,
+                )
+    except (zipfile.BadZipFile, ValueError, KeyError, IndexError, OSError,
+            SyntaxError):
+        return None
+    return members
+
+
+class TraceStore:
+    """Random access to a columnar trace written by :func:`save_trace_npz`.
+
+    Opening the store reads only the (tiny) index arrays; the float64
+    feature/latency/start-time columns stay on disk and are memory-mapped
+    read-only. :meth:`job` materializes one :class:`Job` lazily as views
+    into the map — no copy, no parsing — so iterating a 1000+-job trace
+    holds one job's working set in memory at a time and concurrent worker
+    processes mapping the same path share a single page-cache copy.
+
+    Served arrays are **read-only** (writing raises); callers that need to
+    mutate must copy. Stores written before ``start_time`` existed load
+    with all tasks starting at 0, and compressed/foreign npz files degrade
+    to an eager in-memory load (``mmapped`` is False then).
+    """
+
+    _COLUMNS = ("features", "latency", "start_time")
+
+    def __init__(self, path: Union[str, Path], mmap: bool = True):
+        self.path = Path(path)
+        # Index arrays (offsets, ids, names) are tiny: always eager. Only
+        # the per-task float64 columns are worth (and safe to) map.
+        with np.load(self.path, allow_pickle=False) as npz:
+            members = {
+                k: npz[k] for k in npz.files if k not in self._COLUMNS
+            }
+            mapped = _mmap_npz_columns(self.path, self._COLUMNS) if mmap else None
+            self.mmapped = mapped is not None
+            if mapped is None:
+                mapped = {k: npz[k] for k in npz.files if k in self._COLUMNS}
+            members.update(mapped)
+        missing = [
+            k
+            for k in ("features", "latency", "job_offsets", "job_ids")
+            if k not in members
+        ]
+        if missing:
+            raise ValueError(
+                f"{self.path} is not a columnar trace store "
+                f"(missing {missing}); write it with save_trace_npz."
+            )
+        self._features = members["features"]
+        self._latency = members["latency"]
+        # Legacy stores predate start_time: all tasks start at 0.
+        self._start_time = members.get("start_time")
+        self._offsets = np.asarray(members["job_offsets"], dtype=np.int64)
+        self._job_ids = [str(j) for j in np.asarray(members["job_ids"])]
+        if "feature_names" in members:
+            self._feature_names = [str(f) for f in np.asarray(members["feature_names"])]
+        else:
+            self._feature_names = [
+                f"f{i}" for i in range(self._features.shape[1])
+            ]
+        if "trace_name" in members:
+            self.name = str(np.asarray(members["trace_name"]))
+        else:
+            self.name = self.path.stem
+        for arr in (self._features, self._latency, self._start_time):
+            if arr is not None and not isinstance(arr, np.memmap):
+                arr.setflags(write=False)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self._features.ndim != 2:
+            raise ValueError("features column must be 2-d (n_tasks, d).")
+        n = self._features.shape[0]
+        if self._latency.shape != (n,):
+            raise ValueError("latency column does not match features rows.")
+        if self._start_time is not None and self._start_time.shape != (n,):
+            raise ValueError("start_time column does not match features rows.")
+        if self._offsets.ndim != 1 or self._offsets.shape[0] < 2:
+            raise ValueError("job_offsets must hold at least one job.")
+        if self._offsets[0] != 0 or self._offsets[-1] != n:
+            raise ValueError("job_offsets do not cover the task columns.")
+        if np.any(np.diff(self._offsets) <= 0):
+            raise ValueError("job_offsets must be strictly increasing "
+                             "(empty jobs are not allowed).")
+        if len(self._job_ids) != self._offsets.shape[0] - 1:
+            raise ValueError("job_ids and job_offsets disagree.")
+        if len(self._feature_names) != self._features.shape[1]:
+            raise ValueError("feature_names and features columns disagree.")
+
+    # -- container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._job_ids)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self._job_ids)
+
+    @property
+    def n_tasks(self) -> int:
+        return int(self._features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self._features.shape[1])
+
+    @property
+    def feature_names(self) -> List[str]:
+        return list(self._feature_names)
+
+    @property
+    def job_ids(self) -> List[str]:
+        return list(self._job_ids)
+
+    def job(self, i: int) -> Job:
+        """Materialize job ``i`` lazily as read-only views into the map."""
+        n = len(self._job_ids)
+        if not -n <= i < n:
+            raise IndexError(f"job index {i} out of range for {n} jobs.")
+        if i < 0:
+            i += n
+        lo, hi = int(self._offsets[i]), int(self._offsets[i + 1])
+        starts = None
+        if self._start_time is not None:
+            starts = self._start_time[lo:hi]
+        return Job(
+            job_id=self._job_ids[i],
+            features=self._features[lo:hi],
+            latencies=self._latency[lo:hi],
+            feature_names=list(self._feature_names),
+            start_times=starts,
+        )
+
+    def __getitem__(self, i: int) -> Job:
+        return self.job(i)
+
+    def __iter__(self) -> Iterator[Job]:
+        return self.iter_jobs()
+
+    def iter_jobs(self) -> Iterator[Job]:
+        """Yield jobs one at a time (lazy; nothing is kept once consumed)."""
+        for i in range(len(self._job_ids)):
+            yield self.job(i)
+
+    def materialize(self, name: Optional[str] = None) -> Trace:
+        """Copy the whole store into an in-memory (writable) :class:`Trace`."""
+        jobs = []
+        for job in self.iter_jobs():
+            jobs.append(
+                Job(
+                    job_id=job.job_id,
+                    features=np.array(job.features),
+                    latencies=np.array(job.latencies),
+                    feature_names=job.feature_names,
+                    start_times=np.array(job.start_times),
+                )
+            )
+        return Trace(name=name or self.name, jobs=jobs)
+
+    def close(self) -> None:
+        """Drop the column references (maps close once views are released)."""
+        self._features = self._latency = self._start_time = None
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # Pickling sends only the path: each process re-opens (and re-maps) the
+    # store locally, which is exactly the worker-attach semantic we want.
+    def __reduce__(self):
+        return (type(self), (str(self.path),))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceStore({self.name!r}, n_jobs={self.n_jobs}, "
+            f"n_tasks={self.n_tasks}, mmapped={self.mmapped})"
+        )
+
+
+def load_trace_npz(path: Union[str, Path], name: str = None) -> Trace:
+    """Read a columnar store fully into memory as a :class:`Trace`.
+
+    The eager counterpart of :class:`TraceStore` — parity with
+    :func:`load_trace_csv` (writable arrays, same Job fields). Use the
+    store directly for paper-scale traces.
+    """
+    store = TraceStore(path)
+    try:
+        return store.materialize(name=name)
+    finally:
+        store.close()

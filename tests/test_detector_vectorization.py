@@ -618,20 +618,31 @@ def test_cache_shares_trees_and_slices_queries():
     np.testing.assert_allclose(d5, d5_raw)
 
 
-def test_cache_is_identity_keyed_not_value_keyed():
+def test_cache_is_content_keyed():
+    cache = get_neighbor_cache()
     clear_neighbor_cache()
     rng = np.random.default_rng(3)
     X = np.ascontiguousarray(rng.normal(size=(25, 2)))
     Y = X.copy()
+    builds_before = cache.tree_builds
+    value_hits_before = cache.tree_value_hits
     nn_x = NearestNeighbors(n_neighbors=3).fit(X)
     nn_y = NearestNeighbors(n_neighbors=3).fit(Y)
-    # Equal values but distinct objects: no false sharing...
-    assert nn_x.tree_ is not nn_y.tree_
-    # ...and of course identical results.
+    # Equal values in distinct objects share one tree (exact-equality
+    # guarded), so cross-worker / cross-method refits reuse the build...
+    assert nn_x.tree_ is nn_y.tree_
+    assert cache.tree_builds == builds_before + 1
+    assert cache.tree_value_hits >= value_hits_before + 1
+    # ...and identical results either way.
     dx, ix = nn_x.kneighbors()
     dy, iy = nn_y.kneighbors()
     np.testing.assert_array_equal(ix, iy)
     np.testing.assert_allclose(dx, dy)
+    # Different values never falsely share.
+    Z = X + 1e-9
+    nn_z = NearestNeighbors(n_neighbors=3).fit(Z)
+    assert nn_z.tree_ is not nn_x.tree_
+    assert cache.tree_builds == builds_before + 2
 
 
 def test_cache_slices_are_tie_safe():
