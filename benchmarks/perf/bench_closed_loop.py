@@ -1,0 +1,319 @@
+"""Closed-loop mitigation benchmark: act on predictions, measure JCT/p99.
+
+Writes ``BENCH_closed_loop.json`` next to this file so successive PRs can
+track the trajectory. Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_closed_loop.py
+
+The bench replays the method suite over both trace families once (the
+expensive part, via the existing fan-out harness), then closes the loop on
+the resulting flag decisions across a first-principles cluster-model grid:
+
+- **policies** — speculative re-execution, kill-restart, credit boost;
+- **mitigation cost** — setup seconds before an action takes effect;
+- **prediction lag** — monitor→analyze→adapt delay after each flag;
+- **spares** — finite spare machines / boost credits per job.
+
+Per arm and grid point it reports mean JCT reduction and p99/p99.9
+task-latency deltas versus the unmitigated baseline. Two synthetic control
+arms bracket every method: a perfect-information **oracle** (all true
+stragglers flagged at their first observable checkpoint) and a
+prediction-free **random flagger** spending the same flag budget.
+
+Gates (exit nonzero on violation):
+
+- ordering: on the headline config, NURD strictly beats the random-flagger
+  control and is bounded by the oracle arm, per family;
+- determinism: the whole closed-loop stage runs twice and must be
+  bit-identical (relaunch draws derive from (seed, job_index) only).
+
+``--smoke`` shrinks traces and the method list for CI freshness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.eval import EvaluationConfig, evaluate_all
+from repro.sim.mitigation import (
+    ORACLE,
+    POLICIES,
+    RANDOM_FLAGGER,
+    ClosedLoopSimulator,
+    MitigationConfig,
+    control_reports,
+)
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.google import GoogleTraceGenerator
+
+#: Tier-1 benchmark trace configuration (mirrors benchmarks/conftest.py).
+N_JOBS = 6
+TASK_RANGE = (120, 180)
+SEED = 42
+N_CHECKPOINTS = 10
+NURD_ALPHA = {"google": 0.5, "alibaba": 0.35}
+
+#: Full mode replays the complete Table-3 method suite; smoke keeps one
+#: representative per method family for CI freshness.
+SMOKE_METHODS = ["GBTR", "KNN", "PU-BG", "Grabit", "NURD-NC", "NURD"]
+
+#: Arms reported per grid point (the headline section still carries every
+#: method); one representative per method family keeps the record compact.
+GRID_METHODS = [
+    "GBTR",
+    "KNN",
+    "IFOREST",
+    "PU-BG",
+    "Grabit",
+    "CoxPH",
+    "Wrangler",
+    "NURD-NC",
+    "NURD",
+]
+
+#: Headline operating point the ordering gate applies to: ample spares,
+#: free and instant actions — decision quality is the only differentiator.
+HEADLINE = dict(
+    policy="speculative",
+    spares=16,
+    action_cost=0.0,
+    prediction_lag=0.0,
+    boost_factor=0.5,
+    random_state=0,
+)
+
+#: Cluster-model grid (each axis crossed with every policy).
+GRID_ACTION_COSTS = (0.0, 5.0)
+GRID_PREDICTION_LAGS = (0.0, 10.0)
+GRID_SPARES = (2, 8, 32)
+
+_FAMILIES = (("google", GoogleTraceGenerator), ("alibaba", AlibabaTraceGenerator))
+
+
+def collect_replays(n_jobs, task_range, methods):
+    """Replay the method suite over both families via the eval harness."""
+    replays = {}
+    for family, gen in _FAMILIES:
+        trace = gen(n_jobs=n_jobs, task_range=task_range, random_state=SEED).generate()
+        config = EvaluationConfig(
+            n_checkpoints=N_CHECKPOINTS,
+            alpha=NURD_ALPHA[family],
+            random_state=0,
+        )
+        t0 = time.perf_counter()
+        results = evaluate_all(trace, methods, config=config)
+        elapsed = time.perf_counter() - t0
+        print(
+            f"{family}: replayed {len(methods)} methods x {len(trace)} jobs "
+            f"in {elapsed:.1f}s"
+        )
+        replays[family] = results
+    return replays
+
+
+def close_loop(replays):
+    """Run headline + grid closed-loop evaluation; pure function of inputs."""
+    families = {}
+    for family, results in replays.items():
+        reference = next(iter(results.values())).replays
+        headline_cfg = MitigationConfig(**HEADLINE)
+        headline_sim = ClosedLoopSimulator(headline_cfg)
+        headline = {
+            method: _round(headline_sim.run_many(res.replays).as_dict())
+            for method, res in results.items()
+        }
+        for arm, report in control_reports(reference, headline_cfg).items():
+            headline[arm] = _round(report.as_dict())
+
+        grid = []
+        for policy in POLICIES:
+            for cost in GRID_ACTION_COSTS:
+                for lag in GRID_PREDICTION_LAGS:
+                    for spares in GRID_SPARES:
+                        cfg = MitigationConfig(
+                            policy=policy,
+                            spares=spares,
+                            action_cost=cost,
+                            prediction_lag=lag,
+                            random_state=0,
+                        )
+                        sim = ClosedLoopSimulator(cfg)
+                        arms = {}
+                        for method, res in results.items():
+                            if method not in GRID_METHODS:
+                                continue
+                            report = sim.run_many(res.replays)
+                            arms[method] = _compact(report)
+                        for arm, report in control_reports(reference, cfg).items():
+                            arms[arm] = _compact(report)
+                        grid.append(
+                            {
+                                "policy": policy,
+                                "action_cost": cost,
+                                "prediction_lag": lag,
+                                "spares": spares,
+                                "arms": arms,
+                            }
+                        )
+        families[family] = {"headline": headline, "grid": grid}
+    return families
+
+
+def _round(node, digits=4):
+    """Round every float in a JSON-ready structure (record compactness)."""
+    if isinstance(node, float):
+        return round(node, digits)
+    if isinstance(node, dict):
+        return {k: _round(v, digits) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_round(v, digits) for v in node]
+    return node
+
+
+def _compact(report):
+    d = report.as_dict()
+    return {
+        "jct_reduction_pct": round(d["mean_jct_reduction_pct"], 4),
+        "p99_reduction_pct": round(d["p99_task_latency"]["reduction_pct"], 4),
+        "n_actions": d["n_actions"],
+        "n_denied": d["n_denied"],
+        "n_hurt": d["n_hurt"],
+    }
+
+
+def check_gates(families):
+    """Ordering gate on the headline config, per family."""
+    ordering = {}
+    all_ok = True
+    for family, payload in families.items():
+        headline = payload["headline"]
+        nurd = headline["NURD"]["mean_jct_reduction_pct"]
+        oracle = headline[ORACLE]["mean_jct_reduction_pct"]
+        rand = headline[RANDOM_FLAGGER]["mean_jct_reduction_pct"]
+        passed = rand < nurd <= oracle + 1e-9
+        ordering[family] = {
+            "nurd": nurd,
+            "oracle": oracle,
+            "random": rand,
+            "passed": bool(passed),
+        }
+        all_ok = all_ok and passed
+        print(
+            f"gate ordering [{family}]: random {rand:.2f} < "
+            f"NURD {nurd:.2f} <= oracle {oracle:.2f} -> "
+            f"{'ok' if passed else 'FAIL'}"
+        )
+    return ordering, all_ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small traces + representative methods for CI freshness",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_closed_loop.json"),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        n_jobs, task_range, methods = 2, (60, 90), SMOKE_METHODS
+    else:
+        from repro.eval import METHOD_NAMES
+
+        n_jobs, task_range, methods = N_JOBS, TASK_RANGE, list(METHOD_NAMES)
+
+    n_grid = (
+        len(POLICIES)
+        * len(GRID_ACTION_COSTS)
+        * len(GRID_PREDICTION_LAGS)
+        * len(GRID_SPARES)
+    )
+    print(
+        f"jobs/family={n_jobs} tasks={task_range} methods={len(methods)} "
+        f"grid={n_grid} points"
+    )
+    replays = collect_replays(n_jobs, task_range, methods)
+
+    t0 = time.perf_counter()
+    families = close_loop(replays)
+    loop_s = time.perf_counter() - t0
+    print(f"closed loop evaluated in {loop_s:.2f}s")
+
+    # Determinism gate: the loop is a pure function of (replays, seeds).
+    deterministic = json.dumps(families, sort_keys=True) == json.dumps(
+        close_loop(replays), sort_keys=True
+    )
+    verdict = "ok" if deterministic else "FAIL"
+    print(f"gate determinism: bit-identical rerun -> {verdict}")
+
+    ordering, ordering_ok = check_gates(families)
+
+    for family, payload in families.items():
+        headline = payload["headline"]
+        rows = sorted(
+            headline.items(),
+            key=lambda kv: -kv[1]["mean_jct_reduction_pct"],
+        )
+        print(f"\n{family} headline (speculative, 16 spares, no lag/cost):")
+        for method, row in rows[:8]:
+            print(
+                f"  {method:12s} JCT -{row['mean_jct_reduction_pct']:5.1f}%  "
+                f"p99 -{row['p99_task_latency']['reduction_pct']:5.1f}%  "
+                f"actions={row['n_actions']}"
+            )
+
+    record = {
+        "benchmark": "closed_loop",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "smoke": bool(args.smoke),
+            "seed": SEED,
+            "n_jobs_per_family": n_jobs,
+            "task_range": list(task_range),
+            "n_checkpoints": N_CHECKPOINTS,
+            "methods": methods,
+            "headline": dict(HEADLINE),
+            "grid": {
+                "policies": list(POLICIES),
+                "action_costs": list(GRID_ACTION_COSTS),
+                "prediction_lags": list(GRID_PREDICTION_LAGS),
+                "spares": list(GRID_SPARES),
+                "methods": GRID_METHODS,
+            },
+        },
+        "families": families,
+        "closed_loop_seconds": round(loop_s, 3),
+        "gates": {
+            "ordering": ordering,
+            "determinism": {"passed": bool(deterministic)},
+        },
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    if not deterministic:
+        print("FAIL: closed loop was not bit-reproducible")
+        return 1
+    if not ordering_ok:
+        print("FAIL: headline ordering (random < NURD <= oracle) violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

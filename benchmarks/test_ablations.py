@@ -9,7 +9,6 @@
 """
 
 import numpy as np
-import pytest
 
 from conftest import make_config
 from repro.core.nurd import NurdPredictor

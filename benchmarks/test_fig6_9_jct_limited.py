@@ -6,7 +6,6 @@ machines and saturate toward the unlimited-machines value; NURD stays at or
 near the top of the averaged ranking.
 """
 
-import numpy as np
 
 from conftest import make_config
 from repro.eval import evaluate_all, jct_reduction_table

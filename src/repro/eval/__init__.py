@@ -8,6 +8,7 @@ from repro.eval.harness import (
     evaluate_all,
     streaming_f1_curve,
     jct_reduction_table,
+    closed_loop_table,
 )
 from repro.eval.reporting import format_table3, format_series
 from repro.eval.thresholds import estimate_inflection_threshold
@@ -22,6 +23,7 @@ __all__ = [
     "evaluate_all",
     "streaming_f1_curve",
     "jct_reduction_table",
+    "closed_loop_table",
     "format_table3",
     "format_series",
     "estimate_inflection_threshold",

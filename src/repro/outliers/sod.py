@@ -51,10 +51,9 @@ class SOD(BaseDetector):
         if self.alpha <= 0:
             raise ValueError("alpha must be positive.")
         k = min(self.n_neighbors, X.shape[0] - 1)
-        l = min(self.ref_set, k)
         if k < 1:
             raise ValueError("SOD needs at least 2 samples.")
-        self._k, self._l = k, l
+        self._k, self._l = k, min(self.ref_set, k)
         self.nn_ = NearestNeighbors(n_neighbors=k).fit(X)
         _, self._train_knn_ = self.nn_.kneighbors()
 

@@ -7,6 +7,17 @@ predictions to relaunch stragglers and the harness measures job-completion
 time (JCT) reduction.
 """
 
+from repro.sim.cluster import MachinePool
+from repro.sim.mitigation import (
+    ClosedLoopReport,
+    ClosedLoopSimulator,
+    FlagEventMitigator,
+    MitigationConfig,
+    MitigationOutcome,
+    control_reports,
+    oracle_result,
+    random_flagger_result,
+)
 from repro.sim.replay import (
     ReplaySimulator,
     ReplayResult,
@@ -20,6 +31,15 @@ from repro.sim.scheduler import (
 )
 
 __all__ = [
+    "MachinePool",
+    "ClosedLoopReport",
+    "ClosedLoopSimulator",
+    "FlagEventMitigator",
+    "MitigationConfig",
+    "MitigationOutcome",
+    "control_reports",
+    "oracle_result",
+    "random_flagger_result",
     "ReplaySimulator",
     "ReplayResult",
     "ReplayStream",

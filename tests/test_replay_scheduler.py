@@ -218,6 +218,8 @@ class TestSchedulers:
         unl = simulate_unlimited_machines(res, random_state=1)
         assert many.mitigated_jct <= few.mitigated_jct + 1e-9
         assert many.n_relaunched >= few.n_relaunched
+        assert many.n_relaunched == unl.n_relaunched
+        assert many.mitigated_jct == pytest.approx(unl.mitigated_jct)
 
     def test_limited_monotone_reduction_in_machines(self):
         rng = np.random.default_rng(3)

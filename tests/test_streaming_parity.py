@@ -19,7 +19,7 @@ from repro.core.nurd import NurdNcPredictor, NurdPredictor
 from repro.eval.baselines import build_predictor
 from repro.serving import ScoringEngine, ScorerService, ServiceConfig
 from repro.sim.replay import ReplaySimulator
-from repro.traces.schema import Job, Trace
+from repro.traces.schema import Job
 
 
 def assert_replay_equal(batch, incremental):

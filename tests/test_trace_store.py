@@ -17,7 +17,6 @@ Covers the contracts the paper-scale replay path leans on:
 """
 
 import pickle
-import zipfile
 
 import numpy as np
 import pytest
