@@ -56,6 +56,7 @@ from repro.learn.neighbors import (  # noqa: E402
     neighbor_cache_disabled,
 )
 from repro.outliers import ALL_DETECTORS  # noqa: E402
+from repro.outliers.iforest import forest_build  # noqa: E402
 from repro.traces.alibaba import AlibabaTraceGenerator  # noqa: E402
 from repro.traces.google import GoogleTraceGenerator  # noqa: E402
 
@@ -251,6 +252,15 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    # This benchmark measures the *scoring* vectorization of PR 5 against
+    # loop references that replay the historical per-node RNG stream, so
+    # every arm builds forests with the legacy builder (the level-synchronous
+    # batched build is benchmarked separately by bench_detector_fits.py).
+    with forest_build("legacy"):
+        return _run(args)
+
+
+def _run(args) -> int:
     if args.smoke:
         n_jobs, task_range = 1, (40, 60)
     else:

@@ -63,6 +63,11 @@ SPECS = {
         Check("aggregate.refit.speedup", "ratio", rel_tol=0.6),
         Check("aggregate.pass", "exact"),
     ],
+    "BENCH_detector_fits.json": [
+        Check("aggregate.speedup", "ratio", rel_tol=0.6),
+        Check("gates.determinism.passed", "exact"),
+        Check("aggregate.pass", "exact"),
+    ],
     "BENCH_serving.json": [
         Check("incremental.bit_parity_with_batch", "exact"),
         Check("serving_budgeted.speedup_vs_batch", "ratio", rel_tol=0.6),

@@ -48,35 +48,65 @@ class KMeans(BaseEstimator):
         self.tol = tol
         self.random_state = random_state
 
-    def _lloyd(self, X: np.ndarray, rng: np.random.Generator):
-        k = self.n_clusters
-        centers = _kmeans_plus_plus(X, k, rng)
-        labels = np.zeros(X.shape[0], dtype=np.int64)
-        inertia = np.inf
+    def _lloyd_batched(self, X: np.ndarray, centers: np.ndarray):
+        """Run Lloyd iterations for all ``n_init`` restarts at once.
+
+        ``centers`` is the (I, k, d) stack of k-means++ seeds. Every
+        iteration computes one (n, I·k) GEMM for all restarts' distances,
+        updates each restart's centers with per-feature ``bincount`` sums
+        (the per-cluster member loop collapsed), and freezes restarts whose
+        inertia/center shift has converged so they drop out of later
+        iterations.
+        """
+        n, d = X.shape
+        I, k, _ = centers.shape
+        x2 = np.sum(X**2, axis=1)
+        labels = np.zeros((I, n), dtype=np.int64)
+        inertia = np.full(I, np.inf)
+        active = np.arange(I)
+        offs = np.arange(I, dtype=np.int64)[:, None] * k
         for _ in range(self.max_iter):
-            # Squared distances to every center: (n, k).
+            A = active.size
+            cen = centers[active]                           # (A, k, d)
+            # Squared distances of every row to every active restart's
+            # centers in one GEMM: (n, A*k) -> (A, n, k).
+            prod = X @ cen.reshape(A * k, d).T
             d2 = (
-                np.sum(X**2, axis=1)[:, None]
-                - 2.0 * X @ centers.T
-                + np.sum(centers**2, axis=1)[None, :]
+                x2[None, :, None]
+                - 2.0 * prod.T.reshape(A, k, n).transpose(0, 2, 1)
+                + np.sum(cen**2, axis=2)[:, None, :]
             )
-            labels = np.argmin(d2, axis=1)
-            new_inertia = float(d2[np.arange(X.shape[0]), labels].sum())
-            new_centers = centers.copy()
-            for j in range(k):
-                members = X[labels == j]
-                if members.shape[0] > 0:
-                    new_centers[j] = members.mean(axis=0)
-                else:
-                    # Re-seed empty clusters at the farthest point.
-                    far = int(np.argmax(d2[np.arange(X.shape[0]), labels]))
-                    new_centers[j] = X[far]
-            shift = float(np.max(np.abs(new_centers - centers)))
-            centers = new_centers
-            if abs(inertia - new_inertia) <= self.tol or shift <= self.tol:
-                inertia = new_inertia
+            lbl = np.argmin(d2, axis=2)                     # (A, n)
+            labels[active] = lbl
+            min_d2 = np.take_along_axis(d2, lbl[:, :, None], axis=2)[:, :, 0]
+            new_inertia = min_d2.sum(axis=1)
+            # Per-cluster means via offset bincount, one call per feature.
+            flat = (lbl + offs[:A]).ravel()
+            counts = np.bincount(flat, minlength=A * k).reshape(A, k)
+            sums = np.empty((A, k, d))
+            for f in range(d):
+                w = np.broadcast_to(X[:, f], (A, n)).ravel()
+                sums[:, :, f] = np.bincount(
+                    flat, weights=w, minlength=A * k
+                ).reshape(A, k)
+            new_cen = np.where(
+                (counts > 0)[:, :, None], sums / np.maximum(counts, 1)[:, :, None], cen
+            )
+            empty = counts == 0
+            if np.any(empty):
+                # Re-seed empty clusters at the restart's farthest point.
+                far = np.argmax(min_d2, axis=1)             # (A,)
+                e_i, e_j = np.nonzero(empty)
+                new_cen[e_i, e_j] = X[far[e_i]]
+            shift = np.max(np.abs(new_cen - cen), axis=(1, 2))
+            centers[active] = new_cen
+            done = (np.abs(inertia[active] - new_inertia) <= self.tol) | (
+                shift <= self.tol
+            )
+            inertia[active] = new_inertia
+            active = active[~done]
+            if active.size == 0:
                 break
-            inertia = new_inertia
         return centers, labels, inertia
 
     def fit(self, X, y=None) -> "KMeans":
@@ -88,12 +118,18 @@ class KMeans(BaseEstimator):
                 f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}."
             )
         rng = check_random_state(self.random_state)
-        best = None
-        for _ in range(max(1, self.n_init)):
-            centers, labels, inertia = self._lloyd(X, rng)
-            if best is None or inertia < best[2]:
-                best = (centers, labels, inertia)
-        self.cluster_centers_, self.labels_, self.inertia_ = best
+        n_init = max(1, self.n_init)
+        # Seed every restart upfront with the same sequential RNG stream the
+        # historical restart loop consumed; the Lloyd iterations themselves
+        # draw no randomness and run batched.
+        seeds = np.stack(
+            [_kmeans_plus_plus(X, self.n_clusters, rng) for _ in range(n_init)]
+        )
+        centers, labels, inertia = self._lloyd_batched(X, seeds)
+        best = int(np.argmin(inertia))
+        self.cluster_centers_ = centers[best]
+        self.labels_ = labels[best]
+        self.inertia_ = float(inertia[best])
         self.n_features_in_ = X.shape[1]
         return self
 

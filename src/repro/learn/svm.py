@@ -35,6 +35,16 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
     class_weight : None or "balanced"
         "balanced" reweights the hinge loss inversely to class frequency
         (Wrangler-style handling of imbalanced straggler labels).
+    solver : {"stream", "batch"}
+        ``"stream"`` (default) is the historical per-sample Pegasos loop.
+        ``"batch"`` evaluates hinge margins a block at a time with the
+        block-start weights and applies the per-sample learning-rate
+        schedule in closed form (the ``(1 - η_s λ)`` decays telescope to
+        ``t₀/t₁``, so every violator in the block lands with coefficient
+        ``1/(λ t₁)``); both arms consume one ``rng.permutation`` per epoch,
+        so they shuffle identically.
+    batch_size : int
+        Rows per blocked update in the ``"batch"`` solver.
     """
 
     def __init__(
@@ -43,11 +53,19 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         max_iter: int = 200,
         class_weight: Optional[str] = None,
         random_state=None,
+        solver: str = "stream",
+        batch_size: int = 64,
     ):
+        if solver not in ("stream", "batch"):
+            raise ValueError("solver must be 'stream' or 'batch'.")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1.")
         self.C = C
         self.max_iter = max_iter
         self.class_weight = class_weight
         self.random_state = random_state
+        self.solver = solver
+        self.batch_size = batch_size
 
     def fit(self, X, y) -> "LinearSVC":
         if self.C <= 0:
@@ -77,6 +95,18 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         rng = check_random_state(self.random_state)
         n, d = X.shape
         lam = 1.0 / (self.C * n)
+        if self.solver == "stream":
+            w, b = self._solve_stream(X, t, sw, lam, rng)
+        else:
+            w, b = self._solve_batch(X, t, sw, lam, rng)
+        self.coef_ = w
+        self.intercept_ = float(b)
+        self.n_features_in_ = d
+        return self
+
+    def _solve_stream(self, X, t, sw, lam, rng):
+        """Per-sample Pegasos loop (the historical arm, preserved verbatim)."""
+        n, d = X.shape
         w = np.zeros(d)
         b = 0.0
         step = 0
@@ -95,10 +125,40 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
                 radius = 1.0 / np.sqrt(lam)
                 if norm > radius:
                     w *= radius / norm
-        self.coef_ = w
-        self.intercept_ = float(b)
-        self.n_features_in_ = d
-        return self
+        return w, b
+
+    def _solve_batch(self, X, t, sw, lam, rng):
+        """Blocked Pegasos: margins frozen at block start, exact schedule.
+
+        Within a block covering steps ``t₀+1 .. t₁``, the per-sample decay
+        factors ``(1 - η_s λ) = (s-1)/s`` telescope to ``t₀/t₁``, and a
+        violator at step ``s`` enters the final weights with coefficient
+        ``η_s · s/t₁ = 1/(λ t₁)`` — so one GEMV applies the whole block.
+        The ball projection runs once per block.
+        """
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        step = 0
+        radius = 1.0 / np.sqrt(lam)
+        B = min(self.batch_size, n)
+        for _ in range(self.max_iter):
+            perm = rng.permutation(n)
+            for start in range(0, n, B):
+                blk = perm[start : start + B]
+                m = blk.size
+                Xb = X[blk]
+                margins = t[blk] * (Xb @ w + b)
+                coeff = np.where(margins < 1.0, sw[blk] * t[blk], 0.0)
+                steps = step + 1 + np.arange(m)
+                last = step + m
+                w = w * (step / last) + (Xb.T @ coeff) / (lam * last)
+                b += float(coeff @ (1.0 / (lam * steps)))
+                step = last
+                norm = np.linalg.norm(w)
+                if norm > radius:
+                    w *= radius / norm
+        return w, b
 
     def decision_function(self, X) -> np.ndarray:
         check_is_fitted(self, ["coef_"])
@@ -138,12 +198,20 @@ class OneClassSVM(BaseEstimator):
         n_components: int = 100,
         max_iter: int = 30,
         random_state=None,
+        solver: str = "batch",
+        batch_size: int = 64,
     ):
+        if solver not in ("stream", "batch"):
+            raise ValueError("solver must be 'stream' or 'batch'.")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1.")
         self.nu = nu
         self.gamma = gamma
         self.n_components = n_components
         self.max_iter = max_iter
         self.random_state = random_state
+        self.solver = solver
+        self.batch_size = batch_size
 
     def _resolve_gamma(self, X: np.ndarray) -> float:
         if self.gamma == "scale":
@@ -170,6 +238,22 @@ class OneClassSVM(BaseEstimator):
         self.omega_ = rng.normal(0.0, np.sqrt(2.0 * gamma), size=(d, self.n_components))
         self.phase_ = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
         phi = self._features(X)
+        if self.solver == "stream":
+            w, rho = self._solve_stream(phi, rng)
+        else:
+            w, rho = self._solve_batch(phi, rng)
+        self.coef_ = w
+        self.rho_ = float(rho)
+        self.n_features_in_ = d
+        # Calibrate rho to the nu-quantile of training scores, which is what
+        # exact OCSVM solvers converge to and is far more stable than the
+        # SGD iterate.
+        scores = phi @ w
+        self.rho_ = float(np.quantile(scores, self.nu))
+        return self
+
+    def _solve_stream(self, phi: np.ndarray, rng) -> tuple:
+        """Per-sample projected SGD (the historical arm, preserved verbatim)."""
         n = phi.shape[0]
         w = phi.mean(axis=0)
         rho = 0.0
@@ -185,15 +269,37 @@ class OneClassSVM(BaseEstimator):
                     w += eta / self.nu * phi[i]
                     rho -= eta
                 rho += eta * 1.0  # gradient of the -rho term is -1
-        self.coef_ = w
-        self.rho_ = float(rho)
-        self.n_features_in_ = d
-        # Calibrate rho to the nu-quantile of training scores, which is what
-        # exact OCSVM solvers converge to and is far more stable than the
-        # SGD iterate.
-        scores = phi @ w
-        self.rho_ = float(np.quantile(scores, self.nu))
-        return self
+        return w, rho
+
+    def _solve_batch(self, phi: np.ndarray, rng) -> tuple:
+        """Blocked SGD with the per-sample schedule applied in closed form.
+
+        Same telescoping as :meth:`LinearSVC._solve_batch` with λ = 1: the
+        decays ``(1 - η_s) = (s-1)/s`` across a block covering steps
+        ``t₀+1 .. t₁`` collapse to ``t₀/t₁`` and every margin violator lands
+        with coefficient ``1/(ν t₁)``. Margins (and ρ) are frozen at block
+        start; ρ accumulates ``η_s`` over the block's non-violators exactly
+        as the stream arm nets out. Both arms draw one permutation per
+        epoch, so the RNG stream is preserved.
+        """
+        n = phi.shape[0]
+        w = phi.mean(axis=0)
+        rho = 0.0
+        step = 0
+        B = min(self.batch_size, n)
+        for _ in range(self.max_iter):
+            perm = rng.permutation(n)
+            for start in range(0, n, B):
+                blk = perm[start : start + B]
+                m = blk.size
+                phib = phi[blk]
+                viol = phib @ w - rho < 0.0
+                steps = step + 1 + np.arange(m)
+                last = step + m
+                w = w * (step / last) + (phib.T @ viol) / (self.nu * last)
+                rho += float((~viol) @ (1.0 / steps))
+                step = last
+        return w, rho
 
     def decision_function(self, X) -> np.ndarray:
         check_is_fitted(self, ["coef_"])

@@ -3,11 +3,21 @@
 FastMCD (Rousseeuw & Van Driessen, 1999) with concentration steps: find the
 h-subset whose covariance determinant is minimal, then score points by the
 Mahalanobis distance under the robust (reweighted) location/scatter.
+
+The fit is batched: all ``n_trials`` concentrate at once as stacked
+``(T, h, d)`` subsets — covariances via one stacked matmul, Mahalanobis
+distances via one batched ``np.linalg.solve``, per-trial subset selection via
+a row-wise argsort — and trials whose h-subset has reached a fixed point are
+masked out of subsequent C-steps (a converged trial's recomputation is a
+no-op by construction). The initial subsets are drawn with the same
+sequential ``rng.choice`` stream as the historical per-trial loop, so a
+given seed concentrates the same starting subsets.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.stats import chi2
 
 from repro.outliers.base import BaseDetector
 from repro.utils.validation import check_random_state
@@ -23,6 +33,18 @@ def _det_cov(X: np.ndarray):
     return mean, cov, logdet if sign > 0 else np.inf
 
 
+def _det_cov_batched(S: np.ndarray):
+    """Per-trial mean/cov/logdet for stacked subsets ``S`` of shape (T, m, d)."""
+    m = S.shape[1]
+    mean = S.mean(axis=1)                                   # (T, d)
+    diff = S - mean[:, None, :]
+    cov = diff.transpose(0, 2, 1) @ diff / max(m - 1, 1)    # (T, d, d)
+    di = np.arange(S.shape[2])
+    cov[:, di, di] += 1e-9
+    sign, logdet = np.linalg.slogdet(cov)
+    return mean, cov, np.where(sign > 0, logdet, np.inf)
+
+
 def _mahalanobis_sq(X: np.ndarray, mean: np.ndarray, cov: np.ndarray) -> np.ndarray:
     diff = X - mean
     try:
@@ -30,6 +52,27 @@ def _mahalanobis_sq(X: np.ndarray, mean: np.ndarray, cov: np.ndarray) -> np.ndar
     except np.linalg.LinAlgError:
         sol = np.linalg.lstsq(cov, diff.T, rcond=None)[0]
     return np.einsum("ij,ji->i", diff, sol)
+
+
+def _mahalanobis_sq_batched(
+    X: np.ndarray, mean: np.ndarray, cov: np.ndarray
+) -> np.ndarray:
+    """(T, n) squared Mahalanobis distances of all rows under each trial.
+
+    Inverts the (regularized, hence nonsingular) trial covariances once and
+    applies them with one batched matmul — ``solve`` with an (T, d, n)
+    right-hand side spends most of its time on Fortran-order copies here.
+    """
+    diff = X[None, :, :] - mean[:, None, :]                 # (T, n, d)
+    try:
+        inv = np.linalg.inv(cov)                            # (T, d, d)
+    except np.linalg.LinAlgError:
+        # A singular trial poisons the batched inverse; fall back per trial
+        # (the lstsq path inside _mahalanobis_sq handles the singular ones).
+        return np.stack(
+            [_mahalanobis_sq(X, mean[t], cov[t]) for t in range(mean.shape[0])]
+        )
+    return np.einsum("tnd,tnd->tn", diff @ inv, diff)
 
 
 class MCD(BaseDetector):
@@ -40,7 +83,8 @@ class MCD(BaseDetector):
     support_fraction : float or None
         h / n; None uses the breakdown-optimal (n + d + 1) / 2n.
     n_trials : int
-        Random initial subsets to concentrate.
+        Random initial subsets to concentrate (all batched into one
+        ``(T, h, d)`` C-step recursion).
     n_csteps : int
         Concentration iterations per trial.
     """
@@ -54,6 +98,10 @@ class MCD(BaseDetector):
         random_state=None,
     ):
         super().__init__(contamination=contamination)
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}.")
+        if n_csteps < 1:
+            raise ValueError(f"n_csteps must be >= 1, got {n_csteps}.")
         self.support_fraction = support_fraction
         self.n_trials = n_trials
         self.n_csteps = n_csteps
@@ -69,20 +117,36 @@ class MCD(BaseDetector):
                 raise ValueError("support_fraction must be in [0.5, 1].")
             h = int(np.ceil(self.support_fraction * n))
         h = min(max(h, d + 1), n)
-        best = None
-        for _ in range(max(1, self.n_trials)):
-            idx = rng.choice(n, size=min(max(d + 1, 2), n), replace=False)
-            mean, cov, _ = _det_cov(X[idx])
-            for _ in range(self.n_csteps):
-                dist = _mahalanobis_sq(X, mean, cov)
-                subset = np.argsort(dist)[:h]
-                mean, cov, logdet = _det_cov(X[subset])
-            if best is None or logdet < best[2]:
-                best = (mean, cov, logdet)
-        mean, cov, _ = best
-        # Reweighting step: consistency-corrected scatter.
-        from scipy.stats import chi2
+        T = self.n_trials
+        m0 = min(max(d + 1, 2), n)
+        # Sequential draws keep the RNG stream identical to the per-trial loop.
+        init = np.stack([rng.choice(n, size=m0, replace=False) for _ in range(T)])
+        mean, cov, logdet = _det_cov_batched(X[init])
 
+        active = np.arange(T)
+        subset = np.full((T, h), -1, dtype=np.int64)
+        for _ in range(self.n_csteps):
+            dist = _mahalanobis_sq_batched(X, mean[active], cov[active])
+            new_subset = np.argsort(dist, axis=1)[:, :h]    # (A, h)
+            # A trial whose h-subset is a fixed point (as a set) has
+            # converged: re-concentrating it cannot change mean/cov/logdet.
+            settled = np.all(
+                np.sort(new_subset, axis=1) == np.sort(subset[active], axis=1),
+                axis=1,
+            )
+            subset[active] = new_subset
+            mean_a, cov_a, logdet_a = _det_cov_batched(X[new_subset[~settled]])
+            moving = active[~settled]
+            mean[moving] = mean_a
+            cov[moving] = cov_a
+            logdet[moving] = logdet_a
+            active = moving
+            if active.size == 0:
+                break
+
+        best = int(np.argmin(logdet))
+        mean, cov = mean[best], cov[best]
+        # Reweighting step: consistency-corrected scatter.
         dist = _mahalanobis_sq(X, mean, cov)
         cutoff = chi2.ppf(0.975, df=d)
         med = np.median(dist)

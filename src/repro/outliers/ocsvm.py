@@ -3,6 +3,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.learn.svm import OneClassSVM
@@ -14,28 +16,36 @@ class OCSVMDetector(BaseDetector):
 
     Parameters
     ----------
-    nu : float
-        Upper bound on the training outlier fraction; defaults to the
-        contamination value for consistency with the straggler rate.
+    nu : float, optional
+        Upper bound on the training outlier fraction, in (0, 1]; defaults
+        to the contamination value for consistency with the straggler rate.
     gamma : 'scale', 'auto' or float
         RBF bandwidth.
     n_components : int
         Random Fourier features.
+    solver : {"batch", "stream"}
+        Inner-SGD arm, passed through to :class:`OneClassSVM`.
     """
 
     def __init__(
         self,
-        nu: float = None,
+        nu: Optional[float] = None,
         gamma="scale",
         n_components: int = 100,
         contamination: float = 0.1,
         random_state=None,
+        solver: str = "batch",
     ):
         super().__init__(contamination=contamination)
+        if nu is not None and not 0.0 < nu <= 1.0:
+            raise ValueError(f"nu must be in (0, 1], got {nu}.")
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}.")
         self.nu = nu
         self.gamma = gamma
         self.n_components = n_components
         self.random_state = random_state
+        self.solver = solver
 
     def _fit(self, X: np.ndarray) -> None:
         nu = self.contamination if self.nu is None else self.nu
@@ -44,6 +54,7 @@ class OCSVMDetector(BaseDetector):
             gamma=self.gamma,
             n_components=self.n_components,
             random_state=self.random_state,
+            solver=self.solver,
         ).fit(X)
 
     def _score(self, X: np.ndarray) -> np.ndarray:

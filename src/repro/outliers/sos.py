@@ -9,27 +9,49 @@ The per-row perplexity bisection runs simultaneously for all rows
 (t-SNE-style): every row's beta advances each iteration and converged rows
 are masked out, so the whole binding matrix costs ``max_iter`` vectorized
 sweeps instead of n independent Python-level searches.
+
+Two binding backends share that bisection core:
+
+- ``"dense"`` — the exact (n, n) affinity matrix of the paper.
+- ``"knn"`` — each row binds only to its ``n_neighbors`` nearest points
+  (KD-tree query through the shared :class:`~repro.learn.neighbors.
+  NeighborCache`), an O(n·k) matrix instead of O(n²). Bindings beyond
+  ~3× the perplexity carry exponentially small mass, so the truncation
+  changes scores negligibly while unlocking checkpoint sizes where the
+  dense matrix would not fit.
+- ``"auto"`` (default) — dense below ``_KNN_MIN_ROWS`` rows (tier-1 scale
+  stays exact), kNN above it when the neighborhood is genuinely sparse
+  (``k ≤ n/8``).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.learn.neighbors import NearestNeighbors
 from repro.outliers.base import BaseDetector
 
+#: ``binding="auto"`` switches to the kNN backend at this many rows.
+_KNN_MIN_ROWS = 1024
 
-def _binding_probabilities(
-    D2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 60
+
+def _bind_rows(
+    d: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 60
 ) -> np.ndarray:
-    """Row-stochastic binding matrix B with target perplexity per row."""
-    n = D2.shape[0]
+    """Row-stochastic binding probabilities for a (n, m) distance² matrix.
+
+    The bisection core shared by both backends: column j of row i is the
+    probability that point i binds to its j-th listed candidate (all other
+    points for the dense backend, the k nearest for the kNN backend).
+    """
+    n = d.shape[0]
     log_perp = np.log(perplexity)
-    off_diag = ~np.eye(n, dtype=bool)
-    d = D2[off_diag].reshape(n, n - 1)
     beta = np.ones(n)
     beta_lo = np.zeros(n)
     beta_hi = np.full(n, np.inf)
-    P = np.zeros((n, max(n - 1, 0)))
+    P = np.zeros_like(d)
     active = np.ones(n, dtype=bool)
     for _ in range(max_iter):
         if not active.any():
@@ -62,6 +84,17 @@ def _binding_probabilities(
         lo_rows = upd[~sharpen]
         beta_hi[lo_rows] = b[~sharpen]
         beta[lo_rows] = 0.5 * (b[~sharpen] + beta_lo[lo_rows])
+    return P
+
+
+def _binding_probabilities(
+    D2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 60
+) -> np.ndarray:
+    """Row-stochastic binding matrix B with target perplexity per row."""
+    n = D2.shape[0]
+    off_diag = ~np.eye(n, dtype=bool)
+    d = D2[off_diag].reshape(n, n - 1)
+    P = _bind_rows(d, perplexity, tol=tol, max_iter=max_iter)
     B = np.zeros((n, n))
     B[off_diag] = P.ravel()
     return B
@@ -80,20 +113,56 @@ class SOS(BaseDetector):
     ----------
     perplexity : float
         Effective neighborhood size.
+    binding : {"auto", "dense", "knn"}
+        Affinity backend. ``"dense"`` is the exact (n, n) matrix;
+        ``"knn"`` binds each row to its ``n_neighbors`` nearest points only
+        (O(n·k) memory); ``"auto"`` picks kNN for matrices of at least
+        ``1024`` rows whose neighborhood is sparse (k ≤ n/8).
+    n_neighbors : int, optional
+        Candidate bindings per row for the kNN backend; ``None`` derives
+        ``ceil(3 × perplexity)`` (the binding mass beyond that is
+        exponentially small at the target perplexity).
     """
 
     transductive = True
 
-    def __init__(self, perplexity: float = 4.5, contamination: float = 0.1):
+    def __init__(
+        self,
+        perplexity: float = 4.5,
+        contamination: float = 0.1,
+        binding: str = "auto",
+        n_neighbors: Optional[int] = None,
+    ):
         super().__init__(contamination=contamination)
+        if binding not in ("auto", "dense", "knn"):
+            raise ValueError("binding must be 'auto', 'dense' or 'knn'.")
+        if n_neighbors is not None and n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}.")
         self.perplexity = perplexity
+        self.binding = binding
+        self.n_neighbors = n_neighbors
 
     def _fit(self, X: np.ndarray) -> None:
         if self.perplexity < 1:
             raise ValueError("perplexity must be >= 1.")
         self._train_X_ = X
 
-    def _sos_scores(self, X: np.ndarray) -> np.ndarray:
+    def _resolved_k(self, n: int) -> int:
+        k = self.n_neighbors
+        if k is None:
+            k = int(np.ceil(3.0 * self.perplexity))
+        return min(k, n - 1)
+
+    def _use_knn(self, n: int) -> bool:
+        if self.binding == "dense":
+            return False
+        if n < 2:
+            return False
+        if self.binding == "knn":
+            return True
+        return n >= _KNN_MIN_ROWS and self._resolved_k(n) <= n // 8
+
+    def _sos_scores_dense(self, X: np.ndarray) -> np.ndarray:
         D2 = (
             np.sum(X**2, axis=1)[:, None]
             - 2.0 * X @ X.T
@@ -106,6 +175,25 @@ class SOS(BaseDetector):
         with np.errstate(divide="ignore"):
             log1m = np.log(np.maximum(1.0 - B, 1e-12))
         return np.exp(log1m.sum(axis=0))
+
+    def _sos_scores_knn(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        k = self._resolved_k(n)
+        nn = NearestNeighbors(n_neighbors=k).fit(X)
+        dist, idx = self._kneighbors(nn, X)                 # self excluded
+        perp = min(self.perplexity, k)
+        P = _bind_rows(dist**2, perp)                       # (n, k)
+        # Column accumulation of log(1 - b_ij) over the sparse bindings;
+        # absent entries bind with probability 0 and contribute log(1) = 0.
+        with np.errstate(divide="ignore"):
+            log1m = np.log(np.maximum(1.0 - P, 1e-12))
+        col_sum = np.bincount(idx.ravel(), weights=log1m.ravel(), minlength=n)
+        return np.exp(col_sum)
+
+    def _sos_scores(self, X: np.ndarray) -> np.ndarray:
+        if self._use_knn(X.shape[0]):
+            return self._sos_scores_knn(X)
+        return self._sos_scores_dense(X)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
         # SOS is transductive: score points within the joint dataset so

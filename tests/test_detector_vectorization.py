@@ -22,7 +22,7 @@ from repro.learn.neighbors import (
 )
 from repro.outliers import ABOD, COF, IForest, LSCP, SOD, SOS, XGBOD
 from repro.outliers.lscp import _zscore
-from repro.outliers.iforest import average_path_length
+from repro.outliers.iforest import average_path_length, forest_build
 from repro.utils.validation import check_random_state
 
 RTOL = 1e-8
@@ -496,10 +496,14 @@ def test_cof_train_chaining_parity():
 
 
 def test_iforest_build_is_byte_identical_to_reference():
-    """The optimized builder must replay the reference RNG stream exactly."""
+    """The legacy builder must replay the reference RNG stream exactly.
+
+    (The batched level-synchronous arm draws from counter-seeded streams
+    instead; its parity lives in tests/test_detector_fit_vectorization.py.)
+    """
     for kind in DATASET_KINDS:
         X = _make_dataset(kind)
-        new = IForest(n_estimators=15, random_state=9).fit(X)
+        new = IForest(n_estimators=15, random_state=9, build="legacy").fit(X)
         ref = _ReferenceIForest(n_estimators=15, random_state=9).fit(X.copy())
         for t_new, t_ref in zip(new.trees_, ref.trees_):
             np.testing.assert_array_equal(t_new.feature, t_ref.feature)
@@ -512,10 +516,11 @@ def test_iforest_build_is_byte_identical_to_reference():
 
 
 def test_xgbod_matches_reference_pool():
-    """XGBOD built on the optimized IForest scores identically."""
+    """XGBOD built on the legacy-arm IForest scores identically."""
     X = _make_dataset("random")
     y = (np.arange(X.shape[0]) % 5 == 0).astype(np.int64)
-    cur = XGBOD(n_estimators=10, random_state=2).fit(X, y)
+    with forest_build("legacy"):
+        cur = XGBOD(n_estimators=10, random_state=2).fit(X, y)
     ref = _ReferenceXGBOD(n_estimators=10, random_state=2).fit(X.copy(), y)
     np.testing.assert_allclose(
         cur.decision_scores_, ref.decision_scores_, rtol=RTOL, atol=ATOL
@@ -523,10 +528,12 @@ def test_xgbod_matches_reference_pool():
 
 
 def test_reference_detectors_match_current():
-    """The bench's "before" arm scores identically to the shipping classes."""
+    """The bench's "before" arm scores identically to the shipping classes
+    (forest builds pinned to the legacy arm the references reproduce)."""
     X = _make_dataset("random")
     for name in DETECTOR_NAMES:
-        det = _make_detector(name).fit(X)
+        with forest_build("legacy"):
+            det = _make_detector(name).fit(X)
         ref_cls = REFERENCE_DETECTORS[name]
         ref_det = ref_cls(**{
             k: getattr(det, k)
