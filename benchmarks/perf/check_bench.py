@@ -83,6 +83,15 @@ SPECS = {
         Check("gates.ordering.google.passed", "exact"),
         Check("gates.ordering.alibaba.passed", "exact"),
     ],
+    "BENCH_faults.json": [
+        Check("gates.fault_free_parity.passed", "exact"),
+        Check("gates.crash_recovery_parity.passed", "exact"),
+        Check("gates.corruption.passed", "exact"),
+        Check("gates.sink_outage.passed", "exact"),
+        Check("gates.harness_retry.passed", "exact"),
+        Check("gates.determinism.passed", "exact"),
+        Check("overhead.ratio", "ratio", rel_tol=0.5),
+    ],
 }
 
 

@@ -28,6 +28,7 @@ import os
 import tempfile
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -162,10 +163,18 @@ class ReplayProgress:
 #: column bytes live in the OS page cache, shared across all workers.
 _WORKER_STORE: Optional[TraceStore] = None
 
+#: Optional fault injector (:class:`repro.faults.injectors.HarnessFaults`)
+#: installed by the pool initializer; work units consult it with their
+#: ``(job_index, attempt)`` so injected crashes are deterministic and
+#: identical in every worker process.
+_WORKER_FAULTS = None
 
-def _worker_attach(store_path: str) -> None:
-    global _WORKER_STORE
-    _WORKER_STORE = TraceStore(store_path)
+
+def _worker_attach(store_path: Optional[str], faults=None) -> None:
+    global _WORKER_STORE, _WORKER_FAULTS
+    if store_path is not None:
+        _WORKER_STORE = TraceStore(store_path)
+    _WORKER_FAULTS = faults
 
 
 def _replay_job(
@@ -200,29 +209,59 @@ def _replay_job(
 
 
 def _replay_unit(
-    unit: Tuple[Optional[Job], Tuple[str, ...], EvaluationConfig, int]
+    unit: Tuple[Optional[Job], Tuple[str, ...], EvaluationConfig, int],
+    attempt: int = 0,
 ) -> List[ReplayResult]:
-    """Resolve a work unit's job (store index or pickled payload) and replay."""
+    """Resolve a work unit's job (store index or pickled payload) and replay.
+
+    ``attempt`` numbers re-dispatches of the same unit (0 = first try); it
+    only feeds the installed fault injector — replays themselves are pure
+    functions of the unit, so a retried unit returns bit-identical results.
+    """
     job, methods, config, job_index = unit
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.maybe_fail(job_index, attempt)
     if job is None:
         job = _WORKER_STORE.job(job_index)
     return _replay_job(job, methods, config, job_index)
 
 
-def _iter_bounded(pool, fn, units, window: int) -> Iterator:
+def _iter_bounded(pool, fn, units, window: int, retries: int = 0) -> Iterator:
     """``pool.map`` with a bounded, order-preserving submission window.
 
     At most ``window`` futures are outstanding, so streaming a 1000-job
     trace never materializes the full task queue (or, with pickle fan-out,
     all job payloads) up front.
+
+    A unit whose future raises is re-dispatched up to ``retries`` times
+    (with an incremented attempt number) before the error propagates.
+    Results still yield in submission order — the retried unit simply
+    settles later — so recovered runs are indistinguishable from clean
+    ones. A broken pool is never retried: the workers are gone.
     """
-    pending: deque = deque()
+    pending: deque = deque()  # (future, unit, attempt) triples
+
     for unit in units:
-        pending.append(pool.submit(fn, unit))
+        pending.append((pool.submit(fn, unit, 0), unit, 0))
         if len(pending) >= window:
-            yield pending.popleft().result()
+            yield _settle(pool, fn, pending, retries)
     while pending:
-        yield pending.popleft().result()
+        yield _settle(pool, fn, pending, retries)
+
+
+def _settle(pool, fn, pending: deque, retries: int):
+    """Resolve the oldest outstanding unit, re-dispatching failures."""
+    future, unit, attempt = pending.popleft()
+    while True:
+        try:
+            return future.result()
+        except BrokenProcessPool:
+            raise
+        except Exception:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            future = pool.submit(fn, unit, attempt)
 
 
 def _spill_to_store(jobs) -> Path:
@@ -253,10 +292,14 @@ def _evaluate(
     n_workers: Optional[int],
     fan_out: str,
     progress: Optional[Callable[[ReplayProgress], None]],
+    retries: int = 0,
+    faults=None,
 ) -> Dict[str, List[ReplayResult]]:
     """Core job-major evaluation loop shared by the public entry points."""
     if fan_out not in ("auto", "store", "pickle"):
         raise ValueError("fan_out must be 'auto', 'store' or 'pickle'.")
+    if retries < 0:
+        raise ValueError("retries must be >= 0.")
     method_tuple = tuple(methods)
     per_method: Dict[str, List[ReplayResult]] = {m: [] for m in methods}
     try:
@@ -286,7 +329,18 @@ def _evaluate(
     if serial:
         source = trace.iter_jobs() if hasattr(trace, "iter_jobs") else iter(trace)
         for i, job in enumerate(source):
-            emit(i, _replay_job(job, method_tuple, config, i))
+            attempt = 0
+            while True:
+                try:
+                    if faults is not None:
+                        faults.maybe_fail(i, attempt)
+                    results = _replay_job(job, method_tuple, config, i)
+                    break
+                except Exception:
+                    if attempt >= retries:
+                        raise
+                    attempt += 1
+            emit(i, results)
         return per_method
 
     window = max(2, 2 * n_workers)
@@ -314,16 +368,21 @@ def _evaluate(
             )
             pool_kwargs = {
                 "initializer": _worker_attach,
-                "initargs": (str(store_path),),
+                "initargs": (str(store_path), faults),
             }
         else:
             units = (
                 (job, method_tuple, config, i) for i, job in enumerate(trace)
             )
             pool_kwargs = {}
+            if faults is not None:
+                pool_kwargs = {
+                    "initializer": _worker_attach,
+                    "initargs": (None, faults),
+                }
         with ProcessPoolExecutor(max_workers=n_workers, **pool_kwargs) as pool:
             for i, results in enumerate(
-                _iter_bounded(pool, _replay_unit, units, window)
+                _iter_bounded(pool, _replay_unit, units, window, retries)
             ):
                 emit(i, results)
     finally:
@@ -339,6 +398,8 @@ def evaluate_method(
     n_workers: Optional[int] = None,
     fan_out: str = "auto",
     progress: Optional[Callable[[ReplayProgress], None]] = None,
+    retries: int = 0,
+    faults=None,
 ) -> MethodResult:
     """Replay every job of ``trace`` through ``method`` and collect results.
 
@@ -350,9 +411,17 @@ def evaluate_method(
     path (an in-memory trace is spilled to a temporary store first) unless
     ``fan_out="pickle"`` requests the legacy per-task job pickling.
     ``progress`` is called in the parent after each completed replay.
+
+    ``retries`` re-dispatches a failed work unit up to that many times
+    before surfacing the error; recovered runs keep result order and are
+    bit-identical to clean ones (replays are pure functions of the unit).
+    ``faults`` installs a deterministic work-unit fault injector
+    (:class:`repro.faults.injectors.HarnessFaults`) for testing.
     """
     config = config or EvaluationConfig()
-    per_method = _evaluate(trace, [method], config, n_workers, fan_out, progress)
+    per_method = _evaluate(
+        trace, [method], config, n_workers, fan_out, progress, retries, faults
+    )
     return MethodResult(method=method, replays=per_method[method])
 
 
@@ -364,6 +433,8 @@ def evaluate_all(
     n_workers: Optional[int] = None,
     fan_out: str = "auto",
     progress: Optional[Callable[[ReplayProgress], None]] = None,
+    retries: int = 0,
+    faults=None,
 ) -> Dict[str, MethodResult]:
     """Evaluate several methods on the same trace (same simulator seed).
 
@@ -371,11 +442,13 @@ def evaluate_all(
     the job's checkpoint plan (grid, noise, observed features) across
     methods. With ``n_workers > 1`` units stream through one shared pool
     behind a bounded submission window; see :func:`evaluate_method` for
-    ``fan_out`` and ``progress``.
+    ``fan_out``, ``progress``, ``retries`` and ``faults``.
     """
     config = config or EvaluationConfig()
     methods = list(methods)
-    per_method = _evaluate(trace, methods, config, n_workers, fan_out, progress)
+    per_method = _evaluate(
+        trace, methods, config, n_workers, fan_out, progress, retries, faults
+    )
     out: Dict[str, MethodResult] = {}
     for method in methods:
         out[method] = MethodResult(method=method, replays=per_method[method])

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and the hardening that survives it.
+
+``repro.faults`` has two halves. The *plan* half (:mod:`plan`,
+:mod:`injectors`) builds seeded, reproducible fault scenarios — event
+drops/duplicates/delays/corruption, shard crashes, sink outages, fit
+errors — injected only through explicit wrapper shims. The *hardening*
+half (:mod:`retry`, :mod:`dlq`, :mod:`accounting`) is what the serving
+and eval layers use to survive them: capped-backoff retry policies, a
+bounded dead-letter queue with exact counters, and exactly-once flag
+accounting over possibly re-delivered event streams.
+"""
+
+from repro.faults.accounting import FlagAccount, collect_flags
+from repro.faults.dlq import DeadLetter, DeadLetterQueue
+from repro.faults.plan import (
+    FAULT_TAG,
+    EventFaults,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFitError,
+    ProcessFaults,
+    SinkOutage,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_TAG",
+    "EventFaults",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFitError",
+    "ProcessFaults",
+    "SinkOutage",
+    "RetryPolicy",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FlagAccount",
+    "collect_flags",
+]

@@ -1,0 +1,81 @@
+"""Bounded dead-letter queue for quarantined events and failed deliveries.
+
+Every rejected request, undeliverable emit, and poison payload lands here
+with a reason tag instead of crashing a worker or silently vanishing. The
+queue is bounded (oldest letters are evicted first) but its counters are
+exact, so accounting identities — "the DLQ holds exactly the injected
+malformed events" — survive eviction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined item and why it was rejected."""
+
+    item: object
+    reason: str
+    job_id: Optional[str] = None
+    shard: Optional[int] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class DeadLetterQueue:
+    """Bounded FIFO of :class:`DeadLetter` with exact per-reason counters."""
+
+    maxlen: int = 1024
+    total: int = 0
+    reasons: Counter = field(default_factory=Counter)
+    _letters: deque = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.maxlen < 1:
+            raise ValueError("maxlen must be >= 1.")
+        if self._letters is None:
+            self._letters = deque(maxlen=self.maxlen)
+
+    def push(
+        self,
+        item: object,
+        reason: str,
+        job_id: Optional[str] = None,
+        shard: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> DeadLetter:
+        """Quarantine ``item``; evicts the oldest letter when full."""
+        letter = DeadLetter(
+            item=item, reason=reason, job_id=job_id, shard=shard, error=error
+        )
+        self._letters.append(letter)
+        self.total += 1
+        self.reasons[reason] += 1
+        return letter
+
+    @property
+    def evicted(self) -> int:
+        """Letters dropped by the bound (counters still include them)."""
+        return self.total - len(self._letters)
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self.reasons)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary for benchmark records."""
+        return {
+            "total": self.total,
+            "held": len(self._letters),
+            "evicted": self.evicted,
+            "reasons": self.counts(),
+        }

@@ -1,0 +1,364 @@
+"""Wrapper shims that inject a :class:`~repro.faults.plan.FaultPlan`.
+
+Faults enter the system only through these wrappers — the serving and
+replay hot paths carry no injection code when they are not installed:
+
+- :class:`RequestInjector` transforms a producer's request stream before it
+  is submitted to :class:`~repro.serving.service.ScorerService` (drop /
+  duplicate / delayed / corrupted checkpoints, poisoned job payloads).
+- :class:`ServiceChaos` is a ``chaos`` hook for the service: it crashes or
+  stalls a shard worker when it picks up the configured checkpoint request.
+- :class:`FlakySink` wraps an emit sink with a deterministic outage window.
+- :func:`flaky_predictor_factory` wraps a predictor factory so ``update``
+  raises a transient :class:`~repro.faults.plan.InjectedFitError` (the
+  singular-MCD-covariance scenario) exactly when the plan says so.
+- :class:`HarnessFaults` crashes :func:`repro.eval.harness` work units on
+  their first attempts, exercising work-unit retry.
+
+Every injector keeps an exact ledger of what it injected, so tests and the
+fault benchmark can assert accounting identities (e.g. "the dead-letter
+queue holds exactly the injected malformed events").
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedFitError,
+    SinkOutage,
+)
+from repro.traces.schema import Job
+
+
+def _request_types():
+    # Imported lazily: repro.serving.service itself imports repro.faults
+    # submodules, so a module-level import here would be circular.
+    from repro.serving.service import BeginJob, FinishJob, ScoreCheckpoint
+
+    return BeginJob, ScoreCheckpoint, FinishJob
+
+
+def make_poison_job(template: Job, kind: str, job_id: str) -> Job:
+    """Clone ``template`` and plant one malformed value of ``kind``.
+
+    ``kind`` is one of ``"nan-feature"``, ``"inf-feature"``,
+    ``"negative-duration"``, ``"nan-latency"``. Construction goes through
+    the normal :class:`Job` validation with clean arrays first; the
+    corruption is planted afterwards, exactly like bitrot or a buggy
+    upstream joiner would.
+    """
+    job = Job(
+        job_id=job_id,
+        features=template.features.copy(),
+        latencies=template.latencies.copy(),
+        feature_names=list(template.feature_names),
+        start_times=template.start_times.copy(),
+    )
+    if kind == "nan-feature":
+        job.features[0, 0] = np.nan
+    elif kind == "inf-feature":
+        job.features[0, -1] = np.inf
+    elif kind == "negative-duration":
+        job.latencies[0] = -abs(float(job.latencies[0]))
+    elif kind == "nan-latency":
+        job.latencies[-1] = np.nan
+    else:
+        raise ValueError(f"unknown poison kind {kind!r}.")
+    return job
+
+
+#: Poison kinds cycled through by :class:`RequestInjector`.
+POISON_KINDS = ("nan-feature", "negative-duration", "nan-latency", "inf-feature")
+
+
+class RequestInjector:
+    """Apply a plan's event-level faults to a service request stream.
+
+    Feed any iterable of service requests through :meth:`stream`; the
+    output is the faulted delivery order. All decisions come from the
+    plan's seeded RNG in stream order, so the same plan over the same
+    request sequence injects bit-identical faults.
+
+    The ``log`` counter records what happened; :attr:`expected_rejects` is
+    the number of deliveries the service quarantine must route to the
+    dead-letter queue (duplicates and late re-deliveries arrive stale,
+    corrupted checkpoints are malformed or reference unknown jobs, poison
+    jobs carry malformed payloads).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = plan.rng(tag=1)
+        self.log: Counter = Counter()
+
+    @property
+    def expected_rejects(self) -> int:
+        return (
+            self.log["duplicated"]
+            + self.log["delayed_stale"]
+            + self.log["corrupted"]
+            + self.log["poisoned"]
+        )
+
+    def stream(self, requests: Iterable) -> Iterator:
+        BeginJob, ScoreCheckpoint, FinishJob = _request_types()
+        ev = self.plan.events
+        rng = self._rng
+        # Held-back (delayed) checkpoints per job: [request, passed_count].
+        held: Dict[str, List[list]] = {}
+        # Max checkpoint time actually delivered per job. Corrupted
+        # deliveries are excluded — they never advance the engine's
+        # last-seen checkpoint — so this mirrors the service's staleness
+        # test exactly, which is what keeps ``expected_rejects`` an
+        # identity rather than an estimate.
+        delivered_max: Dict[str, float] = {}
+        poisoned = False
+        ghost = 0
+
+        def note(req) -> None:
+            if req.tau > delivered_max.get(req.job_id, float("-inf")):
+                delivered_max[req.job_id] = req.tau
+
+        def release(job_id: str, force: bool = False) -> Iterator:
+            entries = held.get(job_id, [])
+            ready = [
+                e for e in entries if force or e[1] >= ev.delay_span
+            ]
+            for entry in ready:
+                entries.remove(entry)
+                # Stale only when a newer checkpoint of the same job was
+                # actually delivered first (held-back slots that were
+                # themselves dropped, delayed or corrupted don't count);
+                # otherwise the request is merely late and still valid.
+                req = entry[0]
+                stale = req.tau <= delivered_max.get(job_id, float("-inf"))
+                self.log["delayed_stale" if stale else "delayed_clean"] += 1
+                note(req)
+                yield req
+
+        for request in requests:
+            if isinstance(request, BeginJob):
+                yield request
+                if not poisoned and ev.poison_jobs:
+                    poisoned = True
+                    for k in range(ev.poison_jobs):
+                        kind = POISON_KINDS[k % len(POISON_KINDS)]
+                        self.log["poisoned"] += 1
+                        yield BeginJob(
+                            make_poison_job(
+                                request.job, kind, f"poison-{k}-{kind}"
+                            )
+                        )
+                continue
+            if isinstance(request, FinishJob):
+                yield from release(request.job_id, force=True)
+                yield request
+                continue
+            # ScoreCheckpoint: one draw decides the fate.
+            for entry in held.get(request.job_id, []):
+                entry[1] += 1
+            u = float(rng.random())
+            edge = ev.drop_rate
+            if u < edge:
+                self.log["dropped"] += 1
+            elif u < (edge := edge + ev.duplicate_rate):
+                self.log["duplicated"] += 1
+                note(request)
+                yield request
+                yield ScoreCheckpoint(request.job_id, request.tau)
+            elif u < (edge := edge + ev.delay_rate):
+                held.setdefault(request.job_id, []).append([request, 0])
+            elif u < edge + ev.corrupt_rate:
+                kind = ev.corrupt_kinds[
+                    int(rng.integers(0, len(ev.corrupt_kinds)))
+                ]
+                self.log["corrupted"] += 1
+                self.log[f"corrupted:{kind}"] += 1
+                if kind == "nan-tau":
+                    yield ScoreCheckpoint(request.job_id, float("nan"))
+                elif kind == "inf-tau":
+                    yield ScoreCheckpoint(request.job_id, float("inf"))
+                elif kind == "negative-tau":
+                    yield ScoreCheckpoint(request.job_id, -abs(request.tau))
+                else:  # unknown-job
+                    ghost += 1
+                    yield ScoreCheckpoint(f"ghost-{ghost}", request.tau)
+            else:
+                self.log["clean"] += 1
+                note(request)
+                yield request
+            yield from release(request.job_id)
+        for job_id in list(held):
+            yield from release(job_id, force=True)
+
+
+class ServiceChaos:
+    """Process-level chaos hook for :class:`ScorerService` (``chaos=``).
+
+    Counts the checkpoint requests each shard picks up and, per the plan,
+    raises :class:`InjectedCrash` (transient — at most ``crash_times``) or
+    stalls the shard. Called on the ingest path *before* any engine state
+    is touched, so a crash models a worker dying between dequeue and score.
+    """
+
+    def __init__(self, plan: FaultPlan, stall: Callable[[float], None] = time.sleep):
+        self.plan = plan
+        self._stall = stall
+        self._seen: Counter = Counter()
+        self.crashes_fired = 0
+        self.stalls_fired = 0
+
+    def __call__(self, shard: int, request) -> None:
+        _, ScoreCheckpoint, _ = _request_types()
+        if not isinstance(request, ScoreCheckpoint):
+            return
+        p = self.plan.process
+        k = self._seen[shard]
+        self._seen[shard] += 1
+        if shard != p.crash_shard:
+            return
+        if (
+            p.stall_at_event is not None
+            and k == p.stall_at_event
+            and p.stall_seconds > 0
+        ):
+            self.stalls_fired += 1
+            self._stall(p.stall_seconds)
+        if (
+            p.crash_at_event is not None
+            and k >= p.crash_at_event
+            and self.crashes_fired < p.crash_times
+        ):
+            self.crashes_fired += 1
+            raise InjectedCrash(
+                f"injected crash on shard {shard} at checkpoint event {k}."
+            )
+
+
+class FlakySink:
+    """Emit-sink wrapper with a deterministic outage window.
+
+    Emits whose (first-attempt) order index falls inside the plan's outage
+    window raise :class:`SinkOutage` for the first
+    ``sink_failures_per_event`` delivery attempts, then succeed — so a
+    retry policy with enough attempts rides the outage out, and one with
+    too few dead-letters the event.
+    """
+
+    def __init__(self, sink: Callable, plan: FaultPlan):
+        self._sink = sink
+        self.plan = plan
+        self._order: Dict = {}
+        self._attempts: Counter = Counter()
+        self.failures = 0
+
+    def __call__(self, event):
+        key = (event.job_id, int(event.seq))
+        idx = self._order.setdefault(key, len(self._order))
+        p = self.plan.process
+        if (
+            p.sink_outage_at is not None
+            and p.sink_outage_at <= idx < p.sink_outage_at + p.sink_outage_events
+            and self._attempts[key] < p.sink_failures_per_event
+        ):
+            self._attempts[key] += 1
+            self.failures += 1
+            raise SinkOutage(f"injected sink outage for emit {idx}.")
+        return self._sink(event)
+
+
+class _Fuse:
+    """Shared fire-once(-ish) state for transient predictor faults.
+
+    Deliberately survives ``deepcopy`` by identity: engine snapshots
+    deep-copy predictor state, and a forked fuse would re-arm the fault
+    on every recovery replay, turning a transient error permanent.
+    """
+
+    def __init__(self, at: Optional[int], times: int):
+        self.at = at
+        self.times = times
+        self.calls = 0
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        k = self.calls
+        self.calls += 1
+        if self.at is not None and k >= self.at and self.fired < self.times:
+            self.fired += 1
+            return True
+        return False
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+class FlakyPredictor:
+    """Predictor wrapper whose ``update`` raises per the shared fuse."""
+
+    def __init__(self, inner, fuse: _Fuse):
+        self._inner = inner
+        self._fuse = fuse
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def begin_job(self, X_fin, y_fin, X_run, tau_stra):
+        return self._inner.begin_job(X_fin, y_fin, X_run, tau_stra)
+
+    def update(self, X_fin, y_fin, X_run, elapsed_run=None):
+        if self._fuse.should_fire():
+            raise InjectedFitError(
+                "injected fit failure (singular covariance scenario) at "
+                f"update call {self._fuse.calls - 1}."
+            )
+        return self._inner.update(X_fin, y_fin, X_run, elapsed_run)
+
+    def predict_stragglers(self, X_run):
+        return self._inner.predict_stragglers(X_run)
+
+    def __getattr__(self, attr):
+        if attr.startswith("__"):
+            raise AttributeError(attr)
+        return getattr(self._inner, attr)
+
+
+def flaky_predictor_factory(factory: Callable[[], object], plan: FaultPlan):
+    """Wrap ``factory`` so its predictors share one fit-error fuse."""
+    fuse = _Fuse(plan.process.fit_error_at_update, plan.process.fit_error_times)
+
+    def make() -> FlakyPredictor:
+        return FlakyPredictor(factory(), fuse)
+
+    make.fuse = fuse
+    return make
+
+
+@dataclass(frozen=True)
+class HarnessFaults:
+    """Deterministic work-unit crashes for the eval harness fan-out.
+
+    ``crashes[job_index] = n`` makes that job's work unit raise
+    :class:`InjectedCrash` on its first ``n`` attempts (attempt numbers are
+    0-based and carried with each dispatch), so ``retries >= n`` recovers
+    bit-identically and ``retries < n`` surfaces the failure. Purely a
+    function of ``(job_index, attempt)``: stateless, picklable, and
+    identical in every worker process.
+    """
+
+    crashes: Dict[int, int] = field(default_factory=dict)
+
+    def maybe_fail(self, job_index: int, attempt: int) -> None:
+        if attempt < self.crashes.get(job_index, 0):
+            raise InjectedCrash(
+                f"injected work-unit crash: job {job_index}, attempt {attempt}."
+            )

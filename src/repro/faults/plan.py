@@ -1,0 +1,151 @@
+"""Deterministic, seeded fault plans for the injection harness.
+
+A :class:`FaultPlan` composes *event-level* faults (drop / duplicate /
+delayed delivery / corruption of checkpoint requests) with *process-level*
+faults (shard-worker crashes, slow-shard stalls, emit-sink outages,
+detector-fit exceptions). Every random decision is drawn from
+``np.random.default_rng([seed, FAULT_TAG, ...])`` — the same derived-seed
+convention as :mod:`repro.sim.mitigation` — so two runs of the same plan
+over the same request stream inject bit-identical faults, and a recovered
+run can be compared against an uninterrupted one checkpoint for checkpoint.
+
+The plan itself is pure configuration: nothing here touches the serving or
+replay hot paths. Injection happens through the wrapper shims in
+:mod:`repro.faults.injectors`, which are only ever installed explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Seed-derivation tag for every fault-plan RNG (see ``sim/mitigation.py``
+#: for the convention: ``default_rng([seed, tag, ...])``).
+FAULT_TAG = 0xFA17
+
+
+class InjectedCrash(RuntimeError):
+    """A process-level fault: the shard worker (or pool worker) dies."""
+
+
+class InjectedFitError(ArithmeticError):
+    """A transient model-fit failure (e.g. singular MCD covariance)."""
+
+
+class SinkOutage(ConnectionError):
+    """The emit sink is temporarily unreachable."""
+
+
+@dataclass(frozen=True)
+class EventFaults:
+    """Event-level fault rates applied to a request stream.
+
+    Rates are per :class:`~repro.serving.service.ScoreCheckpoint` request
+    and mutually exclusive per request (one draw decides): a request is
+    dropped, duplicated, delayed, corrupted, or delivered clean.
+
+    - ``drop_rate`` — the request never arrives (silent loss).
+    - ``duplicate_rate`` — the request is delivered twice back to back; the
+      second copy is a stale re-delivery the quarantine must absorb.
+    - ``delay_rate`` — the request is held back until ``delay_span`` newer
+      checkpoints of the same job have gone past, then delivered late;
+      it arrives stale when any of those was actually delivered first.
+    - ``corrupt_rate`` — the payload is mangled with one of
+      ``corrupt_kinds``: ``"nan-tau"`` / ``"inf-tau"`` / ``"negative-tau"``
+      corrupt the checkpoint time, ``"unknown-job"`` rewrites the job id.
+    - ``poison_jobs`` — fabricated :class:`BeginJob` requests carrying
+      malformed payloads (NaN features / negative durations), prepended to
+      the stream; the quarantine must reject them before any refit sees
+      them.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_span: int = 2
+    corrupt_rate: float = 0.0
+    corrupt_kinds: Tuple[str, ...] = (
+        "nan-tau",
+        "inf-tau",
+        "negative-tau",
+        "unknown-job",
+    )
+    poison_jobs: int = 0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "delay_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {rate}.")
+        total = self.drop_rate + self.duplicate_rate + self.delay_rate
+        if total + self.corrupt_rate > 1.0:
+            raise ValueError("event fault rates must sum to at most 1.")
+        if self.delay_span < 1:
+            raise ValueError("delay_span must be >= 1.")
+        if self.poison_jobs < 0:
+            raise ValueError("poison_jobs must be >= 0.")
+        known = {"nan-tau", "inf-tau", "negative-tau", "unknown-job"}
+        bad = set(self.corrupt_kinds) - known
+        if bad:
+            raise ValueError(f"unknown corrupt kinds: {sorted(bad)}.")
+
+
+@dataclass(frozen=True)
+class ProcessFaults:
+    """Process-level faults: crashes, stalls, sink outages, fit errors.
+
+    - ``crash_shard`` / ``crash_at_event`` — raise :class:`InjectedCrash`
+      when the given shard picks up its ``crash_at_event``-th checkpoint
+      request, ``crash_times`` times in total (transient: once the budget
+      is spent the shard behaves).
+    - ``stall_at_event`` / ``stall_seconds`` — a slow-shard stall before
+      processing that event (wall-clock only; never affects results).
+    - ``sink_outage_at`` / ``sink_outage_events`` / ``sink_failures_per_event``
+      — emits with index in ``[sink_outage_at, sink_outage_at +
+      sink_outage_events)`` fail ``sink_failures_per_event`` times before
+      succeeding, modelling an outage window the retry policy must ride out.
+    - ``fit_error_at_update`` / ``fit_error_times`` — the predictor's
+      ``update`` raises :class:`InjectedFitError` on its
+      ``fit_error_at_update``-th call (0-based, counted service-wide),
+      ``fit_error_times`` times.
+    """
+
+    crash_shard: int = 0
+    crash_at_event: Optional[int] = None
+    crash_times: int = 1
+    stall_at_event: Optional[int] = None
+    stall_seconds: float = 0.0
+    sink_outage_at: Optional[int] = None
+    sink_outage_events: int = 1
+    sink_failures_per_event: int = 1
+    fit_error_at_update: Optional[int] = None
+    fit_error_times: int = 1
+
+    def __post_init__(self):
+        if self.crash_shard < 0:
+            raise ValueError("crash_shard must be >= 0.")
+        if self.crash_times < 0 or self.fit_error_times < 0:
+            raise ValueError("fault repeat counts must be >= 0.")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be non-negative.")
+        if self.sink_outage_events < 1 or self.sink_failures_per_event < 1:
+            raise ValueError("sink outage extents must be >= 1.")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded, reproducible composition of event and process faults."""
+
+    seed: int = 0
+    events: EventFaults = field(default_factory=EventFaults)
+    process: ProcessFaults = field(default_factory=ProcessFaults)
+
+    def rng(self, tag: int = 0) -> np.random.Generator:
+        """A generator derived from ``(seed, FAULT_TAG, tag)``.
+
+        Independent fault sites use distinct tags so adding a fault type
+        never perturbs the draws of another.
+        """
+        return np.random.default_rng([int(self.seed), FAULT_TAG, int(tag)])

@@ -1,0 +1,43 @@
+"""Capped exponential backoff policies shared by supervisors and sinks.
+
+Delays are a pure function of the attempt number — no jitter — so recovery
+timing is deterministic under a fake clock and identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry ``retries`` times with capped exponential backoff.
+
+    Attempt ``k`` (1-based) sleeps ``min(max_delay, base_delay *
+    factor**(k-1))`` before retrying. ``retries=0`` disables retrying
+    entirely (the first failure is terminal).
+    """
+
+    retries: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0.")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative.")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1.")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based.")
+        return min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full deterministic backoff schedule."""
+        return tuple(self.delay(k) for k in range(1, self.retries + 1))

@@ -7,21 +7,26 @@
 - :mod:`repro.serving.stats` — latency reservoir for p50/p99 reporting.
 """
 
-from repro.serving.engine import ScoreEvent, ScoringEngine
+from repro.serving.engine import EngineSnapshot, ScoreEvent, ScoringEngine
 from repro.serving.service import (
     BeginJob,
     FinishJob,
     ScoreCheckpoint,
     ScorerService,
     ServiceConfig,
+    ServiceFailure,
+    ShardFailure,
 )
 from repro.serving.stats import LatencyStats
 
 __all__ = [
     "ScoringEngine",
     "ScoreEvent",
+    "EngineSnapshot",
     "ScorerService",
     "ServiceConfig",
+    "ServiceFailure",
+    "ShardFailure",
     "BeginJob",
     "ScoreCheckpoint",
     "FinishJob",

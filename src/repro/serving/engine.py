@@ -17,8 +17,14 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.serving.stats import LatencyStats
-from repro.sim.replay import ReplayResult, ReplaySimulator, ReplayStream
+from repro.sim.replay import (
+    ReplayResult,
+    ReplaySimulator,
+    ReplayStream,
+    StreamSnapshot,
+)
 from repro.traces.schema import Job
+from repro.utils.validation import check_job_payload
 
 
 @dataclass
@@ -51,6 +57,21 @@ class ScoreEvent:
             "latency_s": self.latency_s,
             "score_s": self.score_s,
         }
+
+
+@dataclass
+class EngineSnapshot:
+    """Frozen per-job engine state for crash recovery.
+
+    Pairs the stream's :class:`StreamSnapshot` with the engine's per-job
+    event sequence counter, so a restored job resumes emitting events with
+    the exact sequence numbers an uninterrupted run would have used —
+    which is what lets consumers dedup replayed events bit-exactly.
+    """
+
+    job_id: str
+    seq: int
+    stream: StreamSnapshot
 
 
 class ScoringEngine:
@@ -102,10 +123,24 @@ class ScoringEngine:
     def active_jobs(self) -> List[str]:
         return list(self._streams)
 
+    def has_job(self, job_id: str) -> bool:
+        """Whether ``job_id`` currently has an open stream."""
+        return job_id in self._streams
+
+    def last_tau(self, job_id: str) -> float:
+        """The job's last stepped checkpoint (warmup instant before any)."""
+        return self._stream(job_id).last_tau
+
     def begin_job(self, job: Job, tau_stra: Optional[float] = None) -> str:
-        """Register ``job`` and warm up its stream; returns the job id."""
+        """Register ``job`` and warm up its stream; returns the job id.
+
+        The payload is validated first (finite features, positive finite
+        durations, matching lengths) so a corrupt job is rejected before
+        any model sees it.
+        """
         if job.job_id in self._streams:
             raise ValueError(f"job {job.job_id!r} is already being scored.")
+        check_job_payload(job)
         stream = self.simulator.stream(
             job, self.predictor_factory(), tau_stra=tau_stra, clock=self.clock
         )
@@ -120,6 +155,10 @@ class ScoringEngine:
     def score_checkpoint(self, job_id: str, tau: float) -> ScoreEvent:
         """Advance ``job_id`` to checkpoint ``tau`` and emit its flags."""
         stream = self._stream(job_id)
+        if not np.isfinite(tau):
+            raise ValueError(
+                f"job {job_id!r}: checkpoint time {tau!r} is not finite."
+            )
         t0 = self.clock()
         out = stream.step(tau, budget=self.budget)
         latency = self.clock() - t0
@@ -152,6 +191,40 @@ class ScoringEngine:
         del self._streams[job_id]
         del self._seq[job_id]
         return stream.result()
+
+    # -- crash recovery -------------------------------------------------
+    def snapshot(self, job_id: str) -> EngineSnapshot:
+        """Freeze the job's stream state and event sequence counter."""
+        return EngineSnapshot(
+            job_id=job_id,
+            seq=self._seq[job_id],
+            stream=self._stream(job_id).snapshot(),
+        )
+
+    def restore(self, snap: EngineSnapshot) -> str:
+        """Reopen a job from ``snap``; scoring resumes bit-identically.
+
+        The job must not currently be open (``discard`` a half-mutated
+        stream first). The snapshot is not consumed — the same snapshot can
+        seed any number of restores.
+        """
+        if snap.job_id in self._streams:
+            raise ValueError(
+                f"job {snap.job_id!r} is already open; discard it before "
+                "restoring a snapshot."
+            )
+        self._streams[snap.job_id] = ReplayStream.from_snapshot(
+            snap.stream, clock=self.clock
+        )
+        self._seq[snap.job_id] = snap.seq
+        return snap.job_id
+
+    def discard(self, job_id: str) -> bool:
+        """Drop a job's stream without producing a result (crash cleanup)."""
+        existed = job_id in self._streams
+        self._streams.pop(job_id, None)
+        self._seq.pop(job_id, None)
+        return existed
 
     def run_job(self, job: Job, tau_stra: Optional[float] = None) -> ReplayResult:
         """Convenience: begin, score every grid checkpoint, finish."""

@@ -11,6 +11,26 @@ worker shard (stable CRC32 routing), so a job's checkpoints are scored in
 submission order even with several workers. The bounded queues give natural
 backpressure — ``submit`` blocks (asynchronously) when scoring falls behind
 the checkpoint rate, instead of buffering without limit.
+
+Fault tolerance (see EXPERIMENTS.md, "Fault matrix"):
+
+- *Supervision*: a shard worker that raises is restarted with capped
+  exponential backoff (``restart_policy``). Recovery rebuilds every job
+  routed to the shard from its last engine snapshot (or from the logged
+  ``BeginJob``) and replays the logged checkpoints; per-job event sequence
+  numbers let :meth:`_dispatch` drop already-emitted events, so the
+  delivered stream is bit-identical to an uninterrupted run.
+- *Quarantine*: with ``quarantine=True`` every request is validated on
+  ingest — malformed payloads, non-finite or stale checkpoint times,
+  unknown job ids — and rejects are routed to a bounded
+  :class:`~repro.faults.dlq.DeadLetterQueue` instead of crashing a worker.
+- *Emit retry*: sink calls are retried per ``emit_policy`` (with optional
+  ``emit_timeout``); undeliverable events land in the DLQ under
+  ``"emit-failed"``.
+
+All of it is opt-in per config; with the defaults the hot path adds only
+per-job bookkeeping appends, and :data:`BENCH_faults.json` gates that the
+fault-free arm stays at parity with the bare engine.
 """
 
 from __future__ import annotations
@@ -18,12 +38,17 @@ from __future__ import annotations
 import asyncio
 import inspect
 import zlib
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Union
 
-from repro.serving.engine import ScoreEvent, ScoringEngine
+import numpy as np
+
+from repro.faults.dlq import DeadLetterQueue
+from repro.faults.retry import RetryPolicy
+from repro.serving.engine import EngineSnapshot, ScoreEvent, ScoringEngine
 from repro.sim.replay import ReplayResult, ReplaySimulator
 from repro.traces.schema import Job
+from repro.utils.validation import check_job_payload
 
 
 @dataclass
@@ -52,6 +77,43 @@ class FinishJob:
 Request = Union[BeginJob, ScoreCheckpoint, FinishJob]
 
 
+def _request_job_id(request: Request) -> Optional[str]:
+    if isinstance(request, BeginJob):
+        return request.job.job_id
+    return getattr(request, "job_id", None)
+
+
+@dataclass
+class ShardFailure:
+    """A shard that exhausted its restart budget (or died unsupervised)."""
+
+    shard: int
+    error: BaseException
+    request: Optional[Request] = None
+
+
+class ServiceFailure(RuntimeError):
+    """Raised by :meth:`ScorerService.stop` when any shard failed terminally."""
+
+    def __init__(self, failures: List[ShardFailure]):
+        self.failures = failures
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} shard failure(s); first: shard {first.shard} "
+            f"died with {first.error!r}."
+        )
+
+
+@dataclass
+class _JobLog:
+    """Per-job recovery state: last snapshot plus the checkpoints since."""
+
+    begin: BeginJob
+    snapshot: Optional[EngineSnapshot] = None
+    pending: List[ScoreCheckpoint] = field(default_factory=list)
+    since_snapshot: int = 0
+
+
 @dataclass
 class ServiceConfig:
     """Scorer-service knobs (see EXPERIMENTS.md, "Serving benchmark").
@@ -62,17 +124,45 @@ class ServiceConfig:
       scoring falls behind (backpressure).
     - ``budget``: per-checkpoint latency budget in seconds forwarded to the
       engine; ``None`` keeps every checkpoint bit-identical to batch replay.
+    - ``restart_policy``: how many times a crashed shard worker is restarted
+      and with what backoff; beyond that the shard is marked dead, its
+      requests dead-letter as ``"shard-dead"``, and :meth:`stop` raises.
+    - ``emit_policy`` / ``emit_timeout``: retry schedule and per-attempt
+      timeout for the emit sink; exhausted events dead-letter as
+      ``"emit-failed"``.
+    - ``snapshot_every``: snapshot each job's engine state every N scored
+      checkpoints so recovery replays at most N events per job. ``None``
+      (default) recovers by replaying from the job's warmup — bit-identical
+      either way, just slower to recover.
+    - ``quarantine``: validate requests on ingest and route malformed /
+      stale / unknown ones to the dead-letter queue instead of letting them
+      crash a shard.
+    - ``dlq_size``: bound on retained dead letters (counters stay exact).
     """
 
     n_workers: int = 1
     queue_depth: int = 256
     budget: Optional[float] = None
+    restart_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    emit_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            retries=2, base_delay=0.01, max_delay=0.25
+        )
+    )
+    emit_timeout: Optional[float] = None
+    snapshot_every: Optional[int] = None
+    quarantine: bool = True
+    dlq_size: int = 1024
 
     def __post_init__(self):
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1.")
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1.")
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1 or None.")
+        if self.emit_timeout is not None and self.emit_timeout <= 0:
+            raise ValueError("emit_timeout must be positive or None.")
 
 
 class ScorerService:
@@ -92,6 +182,11 @@ class ScorerService:
 
     or, for whole-job replay at serving speed, :meth:`replay_job` /
     :meth:`replay_trace`.
+
+    ``chaos`` is a fault-injection hook ``(shard, request) -> None`` called
+    on the ingest path after logging and before scoring (see
+    :class:`repro.faults.injectors.ServiceChaos`); ``sleep`` is the backoff
+    sleeper, injectable for deterministic tests.
     """
 
     def __init__(
@@ -100,6 +195,8 @@ class ScorerService:
         simulator: Optional[ReplaySimulator] = None,
         config: Optional[ServiceConfig] = None,
         emit: Optional[Callable[[ScoreEvent], object]] = None,
+        chaos: Optional[Callable[[int, Request], None]] = None,
+        sleep: Callable[[float], "asyncio.Future"] = asyncio.sleep,
     ):
         self.config = config or ServiceConfig()
         self.engine = ScoringEngine(
@@ -108,8 +205,17 @@ class ScorerService:
             budget=self.config.budget,
         )
         self._emit = emit
+        self._chaos = chaos
+        self._sleep = sleep
         self.results: Dict[str, ReplayResult] = {}
-        self.events: List[ScoreEvent] = [] if emit is None else []
+        self.events: List[ScoreEvent] = []
+        self.dlq = DeadLetterQueue(maxlen=self.config.dlq_size)
+        self.failures: List[ShardFailure] = []
+        self.restarts = 0
+        self.replayed_events = 0
+        self._recovery: Dict[str, _JobLog] = {}
+        self._emitted_seq: Dict[str, int] = {}
+        self._dead: Set[int] = set()
         self._queues: List[asyncio.Queue] = []
         self._workers: List[asyncio.Task] = []
         self._started = False
@@ -124,7 +230,8 @@ class ScorerService:
             for _ in range(self.config.n_workers)
         ]
         self._workers = [
-            asyncio.create_task(self._worker(q)) for q in self._queues
+            asyncio.create_task(self._worker(shard, q))
+            for shard, q in enumerate(self._queues)
         ]
         self._started = True
 
@@ -139,75 +246,264 @@ class ScorerService:
         for q in self._queues:
             await q.join()
 
-    async def stop(self) -> None:
-        """Drain, then cancel the workers."""
+    async def stop(self, raise_on_failure: bool = True) -> None:
+        """Drain, cancel the workers, and surface any shard failures.
+
+        Worker tasks never exit silently: exceptions that escape the
+        supervision loop are collected into :attr:`failures` alongside
+        shards that exhausted their restart budget, and
+        :class:`ServiceFailure` is raised unless ``raise_on_failure`` is
+        False (the failures stay inspectable either way).
+        """
         if not self._started:
             return
         await self.drain()
         for w in self._workers:
             w.cancel()
-        await asyncio.gather(*self._workers, return_exceptions=True)
+        done = await asyncio.gather(*self._workers, return_exceptions=True)
+        for shard, outcome in enumerate(done):
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, asyncio.CancelledError
+            ):
+                self.failures.append(ShardFailure(shard=shard, error=outcome))
         self._workers = []
         self._queues = []
         self._started = False
+        if raise_on_failure and self.failures:
+            raise ServiceFailure(self.failures)
 
     # ------------------------------------------------------------------
     async def replay_job(
         self, job: Job, tau_stra: Optional[float] = None
-    ) -> ReplayResult:
-        """Submit a job's full warmup → checkpoint → finish lifecycle."""
+    ) -> Optional[ReplayResult]:
+        """Submit a job's full warmup → checkpoint → finish lifecycle.
+
+        Returns ``None`` when the job never produced a result (quarantined
+        payload or terminally failed shard).
+        """
         await self.submit(BeginJob(job, tau_stra))
         # The grid is known only after the warmup request is processed.
         shard = self._queues[self._route(job.job_id)]
         await shard.join()
+        if not self.engine.has_job(job.job_id):
+            return self.results.get(job.job_id)
         for tau in self.engine.checkpoint_grid(job.job_id):
             await self.submit(ScoreCheckpoint(job.job_id, float(tau)))
         await self.submit(FinishJob(job.job_id))
         await shard.join()
-        return self.results[job.job_id]
+        return self.results.get(job.job_id)
 
-    async def replay_trace(self, trace) -> List[ReplayResult]:
+    async def replay_trace(self, trace) -> List[Optional[ReplayResult]]:
         """Replay every job of a trace through the service concurrently."""
         return list(
             await asyncio.gather(*(self.replay_job(job) for job in trace))
         )
 
+    def fault_stats(self) -> Dict:
+        """Fault-handling counters for reports and benchmarks."""
+        return {
+            "restarts": self.restarts,
+            "replayed_events": self.replayed_events,
+            "dead_shards": sorted(self._dead),
+            "terminal_failures": len(self.failures),
+            "dlq": self.dlq.as_dict(),
+        }
+
     # ------------------------------------------------------------------
     def _shard(self, request: Request) -> int:
-        if isinstance(request, BeginJob):
-            return self._route(request.job.job_id)
-        return self._route(request.job_id)
+        return self._route(_request_job_id(request) or "")
 
     def _route(self, job_id: str) -> int:
         # Stable routing (not Python's salted hash): one shard per job keeps
         # its checkpoints in submission order across workers.
         return zlib.crc32(job_id.encode()) % self.config.n_workers
 
-    async def _worker(self, queue: asyncio.Queue) -> None:
+    async def _worker(self, shard: int, queue: asyncio.Queue) -> None:
+        """Supervised shard loop: restart on crash, dead-letter past budget.
+
+        The restart budget is cumulative per shard (``restart_policy``
+        retries across its lifetime, not per request); recovery failures
+        re-enter the same loop and spend from the same budget.
+        """
+        policy = self.config.restart_policy
+        restarts = 0
         while True:
             request = await queue.get()
             try:
-                await self._handle(request)
+                recovering = False
+                while True:
+                    try:
+                        if recovering:
+                            await self._recover_shard(shard, request)
+                        else:
+                            await self._handle(shard, request)
+                        break
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        restarts += 1
+                        self.restarts += 1
+                        if restarts > policy.retries:
+                            self._dead.add(shard)
+                            self.failures.append(
+                                ShardFailure(shard, exc, request)
+                            )
+                            self.dlq.push(
+                                request,
+                                "shard-failed",
+                                job_id=_request_job_id(request),
+                                shard=shard,
+                                error=repr(exc),
+                            )
+                            break
+                        await self._sleep(policy.delay(restarts))
+                        recovering = True
             finally:
                 queue.task_done()
 
-    async def _handle(self, request: Request) -> None:
+    async def _recover_shard(self, shard: int, failed: Request) -> None:
+        """Rebuild every job on ``shard`` and re-handle the failed request.
+
+        The crash model is a lost worker process: all engine state for the
+        shard's jobs is discarded, then rebuilt from each job's last
+        snapshot (or its logged ``BeginJob``) and the logged checkpoints are
+        replayed. Replayed events regenerate their original sequence
+        numbers, so :meth:`_dispatch` delivers only the ones the crash
+        prevented — consumers observe the exact fault-free stream.
+
+        The failed request itself was logged *before* it crashed, so the
+        replay covers it; only a crashed ``FinishJob`` needs re-handling.
+        """
+        for job_id, log in self._recovery.items():
+            if self._route(job_id) != shard:
+                continue
+            self.engine.discard(job_id)
+            if log.snapshot is not None:
+                self.engine.restore(log.snapshot)
+            else:
+                self.engine.begin_job(
+                    log.begin.job, tau_stra=log.begin.tau_stra
+                )
+            for req in log.pending:
+                event = self.engine.score_checkpoint(req.job_id, req.tau)
+                await self._dispatch(event, shard)
+        if isinstance(failed, FinishJob):
+            await self._handle(shard, failed, recovering=True)
+
+    def _reject_reason(self, request: Request) -> Optional[str]:
+        """Quarantine verdict for ``request``; ``None`` means admit."""
+        if isinstance(request, BeginJob):
+            job_id = request.job.job_id
+            if self.engine.has_job(job_id) or job_id in self.results:
+                return "duplicate-job"
+            try:
+                check_job_payload(request.job)
+            except ValueError:
+                return "malformed-payload"
+            return None
+        if isinstance(request, ScoreCheckpoint):
+            if not self.engine.has_job(request.job_id):
+                return "unknown-job"
+            if not np.isfinite(request.tau):
+                return "malformed-tau"
+            if request.tau <= self.engine.last_tau(request.job_id):
+                return "stale-tau"
+            return None
+        if isinstance(request, FinishJob):
+            if not self.engine.has_job(request.job_id):
+                return "unknown-job"
+            return None
+        return "unknown-request"
+
+    async def _handle(
+        self, shard: int, request: Request, recovering: bool = False
+    ) -> None:
+        job_id = _request_job_id(request)
+        if not recovering:
+            if shard in self._dead:
+                self.dlq.push(
+                    request, "shard-dead", job_id=job_id, shard=shard
+                )
+                return
+            if self.config.quarantine:
+                reason = self._reject_reason(request)
+                if reason is not None:
+                    self.dlq.push(request, reason, job_id=job_id, shard=shard)
+                    return
+            # Recovery bookkeeping runs before the chaos hook and the engine
+            # call, so a request that crashes mid-handling is already logged
+            # and the recovery replay covers it.
+            if isinstance(request, BeginJob):
+                self._recovery[job_id] = _JobLog(begin=request)
+            elif isinstance(request, ScoreCheckpoint):
+                log = self._recovery.get(job_id)
+                if log is not None:
+                    log.pending.append(request)
+            if self._chaos is not None:
+                self._chaos(shard, request)
         if isinstance(request, BeginJob):
             self.engine.begin_job(request.job, tau_stra=request.tau_stra)
         elif isinstance(request, ScoreCheckpoint):
             event = self.engine.score_checkpoint(request.job_id, request.tau)
-            await self._dispatch(event)
+            await self._dispatch(event, shard)
+            log = self._recovery.get(job_id)
+            if log is not None:
+                self._maybe_snapshot(log, job_id)
         elif isinstance(request, FinishJob):
-            self.results[request.job_id] = self.engine.finish_job(
-                request.job_id
-            )
+            self.results[job_id] = self.engine.finish_job(job_id)
+            self._recovery.pop(job_id, None)
+            self._emitted_seq.pop(job_id, None)
         else:
             raise TypeError(f"unknown request type: {type(request).__name__}")
 
-    async def _dispatch(self, event: ScoreEvent) -> None:
+    def _maybe_snapshot(self, log: _JobLog, job_id: str) -> None:
+        if self.config.snapshot_every is None:
+            return
+        log.since_snapshot += 1
+        if log.since_snapshot >= self.config.snapshot_every:
+            # Snapshot after the engine call: the just-scored checkpoint is
+            # inside the snapshot, so the pending log restarts empty.
+            log.snapshot = self.engine.snapshot(job_id)
+            log.pending.clear()
+            log.since_snapshot = 0
+
+    async def _dispatch(self, event: ScoreEvent, shard: int) -> None:
+        # Exactly-once delivery across recovery replays: every job's events
+        # carry dense sequence numbers, so anything at or below the
+        # high-water mark was delivered before the crash.
+        last = self._emitted_seq.get(event.job_id, -1)
+        if event.seq <= last:
+            self.replayed_events += 1
+            return
+        await self._emit_event(event, shard)
+        self._emitted_seq[event.job_id] = event.seq
+
+    async def _emit_event(self, event: ScoreEvent, shard: int) -> None:
         if self._emit is None:
             self.events.append(event)
             return
-        out = self._emit(event)
-        if inspect.isawaitable(out):
-            await out
+        policy = self.config.emit_policy
+        attempt = 0
+        while True:
+            try:
+                out = self._emit(event)
+                if inspect.isawaitable(out):
+                    if self.config.emit_timeout is not None:
+                        await asyncio.wait_for(out, self.config.emit_timeout)
+                    else:
+                        await out
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                attempt += 1
+                if attempt > policy.retries:
+                    self.dlq.push(
+                        event,
+                        "emit-failed",
+                        job_id=event.job_id,
+                        shard=shard,
+                        error=repr(exc),
+                    )
+                    return
+                await self._sleep(policy.delay(attempt))

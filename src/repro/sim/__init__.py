@@ -23,6 +23,7 @@ from repro.sim.replay import (
     ReplayResult,
     ReplayStream,
     StepOutcome,
+    StreamSnapshot,
 )
 from repro.sim.scheduler import (
     simulate_unlimited_machines,
@@ -44,6 +45,7 @@ __all__ = [
     "ReplayResult",
     "ReplayStream",
     "StepOutcome",
+    "StreamSnapshot",
     "simulate_unlimited_machines",
     "simulate_limited_machines",
     "jct_reduction",

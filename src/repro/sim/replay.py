@@ -15,6 +15,7 @@ task progress (fully-finished tasks are observed exactly).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -401,6 +402,43 @@ class ReplaySimulator:
 
 
 @dataclass
+class StreamSnapshot:
+    """Frozen mid-replay state of a :class:`ReplayStream`.
+
+    Captures everything a restarted stream needs to continue bit-identically:
+    a deep copy of the predictor, the cached observation matrix and noise
+    scales, flag state, the forward-only cursor, and the latency-budget
+    bookkeeping. The job, simulator, noise draw and checkpoint grid are
+    shared by reference — all immutable after stream construction.
+
+    A snapshot is restorable any number of times:
+    :meth:`ReplayStream.from_snapshot` copies the stored state again rather
+    than adopting it, so two streams restored from the same snapshot never
+    alias each other.
+    """
+
+    sim: ReplaySimulator
+    job: Job
+    predictor: OnlineStragglerPredictor
+    tau_stra: float
+    warmup_time: float
+    checkpoints: np.ndarray
+    noise: np.ndarray
+    X_obs: np.ndarray
+    scale: np.ndarray
+    flagged: np.ndarray
+    flag_times: np.ndarray
+    last_tau: float
+    n_updates: int
+    update_cost: Optional[float]
+    partial_cost: Optional[float]
+    score_cost: Optional[float]
+    credit: float
+    degraded_checkpoints: int
+    refreshed_rows_total: int
+
+
+@dataclass
 class StepOutcome:
     """What happened at one incremental checkpoint."""
 
@@ -545,6 +583,79 @@ class ReplayStream:
             self.predictor.begin_job(
                 X0[finished], y[finished], X0[finished], self.tau_stra
             )
+
+    @property
+    def last_tau(self) -> float:
+        """The last checkpoint stepped (the warmup instant before any step)."""
+        return self._last_tau
+
+    # -- crash recovery -------------------------------------------------
+    def snapshot(self) -> StreamSnapshot:
+        """Freeze the stream's full state for later bit-identical resume.
+
+        The predictor is deep-copied (its fitted state is the expensive,
+        mutable part); cached arrays are copied; the job, simulator, noise
+        draw and checkpoint grid are shared by reference since the stream
+        never mutates them after construction.
+        """
+        return StreamSnapshot(
+            sim=self.sim,
+            job=self.job,
+            predictor=copy.deepcopy(self.predictor),
+            tau_stra=self.tau_stra,
+            warmup_time=self.warmup_time,
+            checkpoints=self.checkpoints,
+            noise=self._noise,
+            X_obs=self._X_obs.copy(),
+            scale=self._scale.copy(),
+            flagged=self.flagged.copy(),
+            flag_times=self.flag_times.copy(),
+            last_tau=self._last_tau,
+            n_updates=self._n_updates,
+            update_cost=self._update_cost,
+            partial_cost=self._partial_cost,
+            score_cost=self._score_cost,
+            credit=self._credit,
+            degraded_checkpoints=self.degraded_checkpoints,
+            refreshed_rows_total=self.refreshed_rows_total,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snap: StreamSnapshot,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "ReplayStream":
+        """Rebuild a stream from ``snap``, resuming exactly where it froze.
+
+        Stepping the restored stream over the remaining checkpoints yields
+        flags and flag times bit-identical to the uninterrupted stream
+        (enforced by ``tests/test_faults.py``). The snapshot itself is left
+        untouched — its predictor and arrays are copied again — so it can
+        seed any number of restores.
+        """
+        stream = object.__new__(cls)
+        stream.sim = snap.sim
+        stream.job = snap.job
+        stream.predictor = copy.deepcopy(snap.predictor)
+        stream.clock = clock
+        stream.tau_stra = snap.tau_stra
+        stream.warmup_time = snap.warmup_time
+        stream.checkpoints = snap.checkpoints
+        stream._noise = snap.noise
+        stream._X_obs = snap.X_obs.copy()
+        stream._scale = snap.scale.copy()
+        stream.flagged = snap.flagged.copy()
+        stream.flag_times = snap.flag_times.copy()
+        stream._last_tau = snap.last_tau
+        stream._n_updates = snap.n_updates
+        stream._update_cost = snap.update_cost
+        stream._partial_cost = snap.partial_cost
+        stream._score_cost = snap.score_cost
+        stream._credit = snap.credit
+        stream.degraded_checkpoints = snap.degraded_checkpoints
+        stream.refreshed_rows_total = snap.refreshed_rows_total
+        return stream
 
     def step(self, tau: float, budget: Optional[float] = None) -> StepOutcome:
         """Advance the stream to checkpoint ``tau`` and score running tasks.

@@ -33,11 +33,13 @@ import warnings
 import zipfile
 from collections import defaultdict
 from pathlib import Path
+from types import SimpleNamespace
 from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.traces.schema import Job, Trace
+from repro.utils.validation import check_job_payload
 
 #: Version tag written into every columnar store (bump on layout changes).
 TRACE_STORE_VERSION = 1
@@ -107,8 +109,18 @@ def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
             writer.writerows(buffer)
 
 
-def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
-    """Read a trace written by :func:`save_trace_csv` (or converted real data)."""
+def load_trace_csv(
+    path: Union[str, Path], name: str = None, validate: bool = True
+) -> Trace:
+    """Read a trace written by :func:`save_trace_csv` (or converted real data).
+
+    With ``validate=True`` (default) every row must have exactly the header's
+    column count, and each assembled job payload is checked for finite
+    features, finite positive durations and finite start times before a
+    :class:`Job` is built — errors name the job and the first offending task
+    (or the offending CSV line), so corrupt dumps fail loud at the boundary
+    instead of poisoning a replay later.
+    """
     path = Path(path)
     with path.open() as fh:
         reader = csv.reader(fh)
@@ -122,9 +134,15 @@ def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
         feature_names = header[3:] if has_starts else header[2:]
         if not feature_names:
             raise ValueError(f"{path} has no feature columns.")
+        n_columns = len(header)
         rows_by_job = defaultdict(list)
         order = []
-        for row in reader:
+        for line, row in enumerate(reader, start=2):
+            if validate and len(row) != n_columns:
+                raise ValueError(
+                    f"{path}, line {line}: expected {n_columns} columns "
+                    f"(per header), got {len(row)}."
+                )
             job_id = row[0]
             if job_id not in rows_by_job:
                 order.append(job_id)
@@ -133,11 +151,19 @@ def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
     n_meta = 2 if has_starts else 1  # latency (+ start_time) before features
     for job_id in order:
         arr = np.asarray(rows_by_job[job_id], dtype=np.float64)
+        payload = SimpleNamespace(
+            job_id=job_id,
+            features=arr[:, n_meta:],
+            latencies=arr[:, 0],
+            start_times=arr[:, 1] if has_starts else np.zeros(arr.shape[0]),
+        )
+        if validate:
+            check_job_payload(payload)
         jobs.append(
             Job(
                 job_id=job_id,
-                features=arr[:, n_meta:],
-                latencies=arr[:, 0],
+                features=payload.features,
+                latencies=payload.latencies,
                 feature_names=list(feature_names),
                 start_times=arr[:, 1] if has_starts else None,
             )
@@ -302,8 +328,18 @@ class TraceStore:
 
     _COLUMNS = ("features", "latency", "start_time")
 
-    def __init__(self, path: Union[str, Path], mmap: bool = True):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        mmap: bool = True,
+        validate: bool = True,
+    ):
         self.path = Path(path)
+        #: Per-job payload validation on :meth:`job` (finite features,
+        #: positive finite durations); the structural index checks at open
+        #: always run. Costs one ``isfinite`` pass over rows the caller is
+        #: about to read anyway; disable for trusted stores on hot paths.
+        self.validate_jobs = validate
         # Index arrays (offsets, ids, names) are tiny: always eager. Only
         # the per-task float64 columns are worth (and safe to) map.
         with np.load(self.path, allow_pickle=False) as npz:
@@ -401,6 +437,19 @@ class TraceStore:
         starts = None
         if self._start_time is not None:
             starts = self._start_time[lo:hi]
+        if self.validate_jobs:
+            check_job_payload(
+                SimpleNamespace(
+                    job_id=self._job_ids[i],
+                    features=self._features[lo:hi],
+                    latencies=self._latency[lo:hi],
+                    start_times=(
+                        starts
+                        if starts is not None
+                        else np.zeros(hi - lo)
+                    ),
+                )
+            )
         return Job(
             job_id=self._job_ids[i],
             features=self._features[lo:hi],
@@ -448,7 +497,7 @@ class TraceStore:
     # Pickling sends only the path: each process re-opens (and re-maps) the
     # store locally, which is exactly the worker-attach semantic we want.
     def __reduce__(self):
-        return (type(self), (str(self.path),))
+        return (type(self), (str(self.path), True, self.validate_jobs))
 
     def __repr__(self) -> str:
         return (
